@@ -1,0 +1,79 @@
+package auric
+
+import (
+	"auric/internal/eval"
+	"auric/internal/stats"
+)
+
+// Evaluation and analysis (see internal/eval; Sec 2.6 and Sec 4 of the
+// paper).
+type (
+	// CVOptions control cross-validated accuracy measurement.
+	CVOptions = eval.CVOptions
+	// AccuracyResult is a correct/total tally.
+	AccuracyResult = eval.Result
+	// VariabilityRow pairs a parameter with its distinct-value count
+	// (Fig 2).
+	VariabilityRow = eval.VariabilityRow
+	// MarketVariabilityRow is a parameter's distinct-value counts per
+	// market (Fig 3).
+	MarketVariabilityRow = eval.MarketVariabilityRow
+	// SkewRow is a parameter's skewness per market and pooled (Fig 4).
+	SkewRow = eval.SkewRow
+	// SkewClass buckets skewness: symmetric, moderately or highly skewed.
+	SkewClass = stats.SkewClass
+	// LearnerSpec names a learner and how to build it for a comparison.
+	LearnerSpec = eval.LearnerSpec
+	// LearnerAccuracy is one learner's accuracy per market and overall
+	// (Table 4).
+	LearnerAccuracy = eval.LearnerResult
+	// ParamAccuracy is one parameter's accuracy per learner (Fig 10).
+	ParamAccuracy = eval.Fig10Row
+	// MismatchLabels are the Fig 12 slices.
+	MismatchLabels = eval.MismatchLabels
+)
+
+// Skew classes.
+const (
+	Symmetric        = stats.Symmetric
+	ModeratelySkewed = stats.ModeratelySkewed
+	HighlySkewed     = stats.HighlySkewed
+)
+
+// Variability computes each parameter's network-wide distinct-value count,
+// sorted descending (Fig 2).
+func Variability(w *World) []VariabilityRow { return eval.Fig2(w) }
+
+// MarketVariability computes per-market distinct-value counts (Fig 3).
+func MarketVariability(w *World) []MarketVariabilityRow { return eval.Fig3(w) }
+
+// Skewness computes parameter skewness per market and pooled, with the
+// paper's classification (Fig 4).
+func Skewness(w *World) ([]SkewRow, map[SkewClass]int) { return eval.Fig4(w) }
+
+// DefaultLearnerSpecs returns the five global learners of the paper's
+// evaluation; quick=true shrinks the expensive ones for fast runs.
+func DefaultLearnerSpecs(quick bool) []LearnerSpec { return eval.DefaultLearnerSpecs(quick) }
+
+// CompareLearners cross-validates the given learners over every parameter
+// of the given markets (Table 4 / Fig 10). nil specs means the paper-exact
+// defaults.
+func CompareLearners(w *World, markets []int, specs []LearnerSpec, cv CVOptions) ([]LearnerAccuracy, map[int][]ParamAccuracy, error) {
+	return eval.GlobalLearnerComparison(w, markets, specs, cv)
+}
+
+// CompareLocalToGlobal measures collaborative filtering with global voting
+// against the 1-hop X2 local learner (Sec 4.3.2).
+func CompareLocalToGlobal(w *World, markets []int, cv CVOptions) (global, local AccuracyResult, err error) {
+	return eval.LocalVsGlobal(w, markets, cv, nil)
+}
+
+// LabelRecommendationMismatches runs the local learner across all markets
+// and labels its mismatches with the world's ground-truth oracle (Fig 12).
+func LabelRecommendationMismatches(w *World, cv CVOptions) (MismatchLabels, AccuracyResult, error) {
+	return eval.Fig12(w, cv)
+}
+
+// TimezoneMarkets selects one market per timezone, the Table 3 evaluation
+// set.
+func TimezoneMarkets(w *World) []int { return eval.PickTimezoneMarkets(w) }

@@ -1,0 +1,377 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md for the per-experiment index), plus ablation
+// benches for the design choices Auric makes. Each benchmark reports the
+// experiment's headline metric via b.ReportMetric, so a -bench run doubles
+// as a miniature reproduction:
+//
+//	go test -bench=. -benchmem
+//
+// Scales are reduced so the whole suite completes in minutes; cmd/auriceval
+// runs the same experiments at configurable scale.
+package auric_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"auric"
+	"auric/internal/dataset"
+	"auric/internal/eval"
+	"auric/internal/learn/cf"
+	"auric/internal/learn/forest"
+	"auric/internal/learn/knn"
+	"auric/internal/learn/lasso"
+)
+
+var (
+	worldOnce sync.Once
+	world     *auric.World
+)
+
+// benchWorld is the shared 4-market bench network (about 1200 carriers).
+func benchWorld() *auric.World {
+	worldOnce.Do(func() {
+		world = auric.SimulateNetwork(auric.NetworkOptions{
+			Seed: 1, Markets: 4, ENodeBsPerMarket: 30,
+		})
+	})
+	return world
+}
+
+func benchCV() auric.CVOptions {
+	return auric.CVOptions{Folds: 3, Seed: 1, MaxSamples: 500}
+}
+
+// BenchmarkFig2Variability regenerates Fig 2: distinct values per
+// parameter across the network.
+func BenchmarkFig2Variability(b *testing.B) {
+	w := benchWorld()
+	var maxDistinct int
+	for i := 0; i < b.N; i++ {
+		rows := auric.Variability(w)
+		maxDistinct = rows[0].Distinct
+	}
+	b.ReportMetric(float64(maxDistinct), "max-distinct")
+}
+
+// BenchmarkFig3MarketVariability regenerates Fig 3: distinct values per
+// parameter per market.
+func BenchmarkFig3MarketVariability(b *testing.B) {
+	w := benchWorld()
+	var rows []auric.MarketVariabilityRow
+	for i := 0; i < b.N; i++ {
+		rows = auric.MarketVariability(w)
+	}
+	b.ReportMetric(float64(len(rows)), "parameters")
+}
+
+// BenchmarkFig4Skewness regenerates Fig 4: parameter skewness and its
+// classification.
+func BenchmarkFig4Skewness(b *testing.B) {
+	w := benchWorld()
+	var highly int
+	for i := 0; i < b.N; i++ {
+		_, byClass := auric.Skewness(w)
+		highly = byClass[auric.HighlySkewed]
+	}
+	b.ReportMetric(float64(highly), "highly-skewed")
+}
+
+// BenchmarkTable3Dataset regenerates Table 3: the four-timezone evaluation
+// dataset summary.
+func BenchmarkTable3Dataset(b *testing.B) {
+	w := benchWorld()
+	var values int
+	for i := 0; i < b.N; i++ {
+		values = 0
+		for _, row := range eval.Table3(w, auric.TimezoneMarkets(w)) {
+			values += row.ParamValues
+		}
+	}
+	b.ReportMetric(float64(values), "param-values")
+}
+
+// BenchmarkTable4GlobalLearners regenerates Table 4: the five global
+// learners compared over the four timezone markets. Reports collaborative
+// filtering's overall accuracy.
+func BenchmarkTable4GlobalLearners(b *testing.B) {
+	w := benchWorld()
+	var cfAcc float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := auric.CompareLearners(w, auric.TimezoneMarkets(w), auric.DefaultLearnerSpecs(true), benchCV())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Learner == "collaborative-filtering" {
+				cfAcc = r.Overall.Accuracy()
+			}
+		}
+	}
+	b.ReportMetric(cfAcc*100, "cf-acc-%")
+}
+
+// BenchmarkFig10PerParameter regenerates Fig 10 for one market: per-
+// parameter accuracy of the five learners, sorted by variability.
+func BenchmarkFig10PerParameter(b *testing.B) {
+	w := benchWorld()
+	m := auric.TimezoneMarkets(w)[:1]
+	var rows int
+	for i := 0; i < b.N; i++ {
+		_, fig10, err := auric.CompareLearners(w, m, auric.DefaultLearnerSpecs(true), benchCV())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(fig10[m[0]])
+	}
+	b.ReportMetric(float64(rows), "parameters")
+}
+
+// BenchmarkLocalVsGlobal regenerates the Sec 4.3.2 comparison: CF with
+// global voting vs the 1-hop local learner.
+func BenchmarkLocalVsGlobal(b *testing.B) {
+	w := benchWorld()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		g, l, err := auric.CompareLocalToGlobal(w, auric.TimezoneMarkets(w), benchCV())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = (l.Accuracy() - g.Accuracy()) * 100
+	}
+	b.ReportMetric(gap, "local-gain-pp")
+}
+
+// BenchmarkFig11LocalAccuracy regenerates Figs 11a-d: local-learner
+// accuracy for the highest-variability parameters across markets.
+func BenchmarkFig11LocalAccuracy(b *testing.B) {
+	w := benchWorld()
+	var rows []eval.Fig11Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Fig11(w, 2, benchCV())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "parameters")
+}
+
+// BenchmarkFig12MismatchLabels regenerates Fig 12: oracle labeling of the
+// local learner's mismatches. Reports the good-recommendation share.
+func BenchmarkFig12MismatchLabels(b *testing.B) {
+	w := benchWorld()
+	var goodShare float64
+	for i := 0; i < b.N; i++ {
+		labels, _, err := auric.LabelRecommendationMismatches(w, benchCV())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if labels.Total > 0 {
+			goodShare = float64(labels.GoodRecommendation) / float64(labels.Total) * 100
+		}
+	}
+	b.ReportMetric(goodShare, "good-reco-%")
+}
+
+// BenchmarkTable5SmartLaunch regenerates Table 5: the production launch
+// window through the full EMS pipeline. Reports the change rate.
+func BenchmarkTable5SmartLaunch(b *testing.B) {
+	w := benchWorld()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := auric.SimulateLaunches(w, auric.LaunchSimOptions{
+			Seed: 1, Launches: 300, TrainMaxSamples: 1500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.ChangeRate() * 100
+	}
+	b.ReportMetric(rate, "change-rate-%")
+}
+
+// BenchmarkDependencyRecovery measures how well chi-square selection
+// recovers the generator's true dependencies (the dependency-learning
+// ablation of DESIGN.md).
+func BenchmarkDependencyRecovery(b *testing.B) {
+	w := benchWorld()
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.DependencyRecovery(w, 800)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = res.Recall()
+	}
+	b.ReportMetric(recall*100, "recall-%")
+}
+
+// BenchmarkAblationBulkPush compares per-parameter vs bulk change pushes
+// against a congested EMS (the paper's planned controller enhancement,
+// Sec 5). Reports the number of timeout fall-outs.
+func BenchmarkAblationBulkPush(b *testing.B) {
+	congested := auric.EMSConfig{
+		MaxConcurrentSets: 1,
+		SetLatency:        2 * time.Millisecond,
+		QueueTimeout:      6 * time.Millisecond,
+	}
+	for _, bulk := range []bool{false, true} {
+		name := "per-param"
+		if bulk {
+			name = "bulk"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := benchWorld()
+			var timeouts int
+			for i := 0; i < b.N; i++ {
+				res, _, err := auric.SimulateLaunches(w, auric.LaunchSimOptions{
+					Seed: 5, Launches: 200, EMS: congested, Bulk: bulk, TrainMaxSamples: 1500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				timeouts = res.FalloutTimeout
+			}
+			b.ReportMetric(float64(timeouts), "timeout-fallouts")
+		})
+	}
+}
+
+// --- Ablations over Auric's design choices ------------------------------
+
+// ablate cross-validates one learner on the three most tunable parameters
+// of the bench world's first market.
+func ablate(b *testing.B, l auric.Learner, cv auric.CVOptions, local bool) float64 {
+	b.Helper()
+	w := benchWorld()
+	var res eval.Result
+	for _, name := range []string{"sFreqPrio", "capacityThreshold", "hysA3Offset"} {
+		pi := w.Schema.IndexOf(name)
+		t := evalTable(w, pi, 0)
+		var (
+			r   eval.Result
+			err error
+		)
+		if local {
+			r, err = eval.CrossValidateLocal(t, l, w.Net, w.X2, cv, nil)
+		} else {
+			r, err = eval.CrossValidate(t, l, cv, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Add(r)
+	}
+	return res.Accuracy()
+}
+
+// BenchmarkAblationDependencyLearner compares the Sec 3.2 dependency-model
+// design space on the most tunable parameters: collaborative filtering vs
+// lasso regression (the paper's linear option).
+func BenchmarkAblationDependencyLearner(b *testing.B) {
+	learners := []struct {
+		name  string
+		build func() auric.Learner
+	}{
+		{"cf", func() auric.Learner { return cf.New() }},
+		{"lasso", func() auric.Learner { return lasso.New() }},
+	}
+	for _, l := range learners {
+		b.Run(l.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = ablate(b, l.build(), benchCV(), false)
+			}
+			b.ReportMetric(acc*100, "acc-%")
+		})
+	}
+}
+
+// BenchmarkAblationVotingThreshold sweeps the CF voting-support threshold
+// (the paper fixes 75%).
+func BenchmarkAblationVotingThreshold(b *testing.B) {
+	for _, support := range []float64{0.55, 0.75, 0.95} {
+		b.Run(percentName(support), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = ablate(b, &cf.Learner{Opts: cf.Options{Support: support}}, benchCV(), false)
+			}
+			b.ReportMetric(acc*100, "acc-%")
+		})
+	}
+}
+
+// BenchmarkAblationChiSquareAlpha sweeps the chi-square significance level
+// (the paper fixes p=0.01).
+func BenchmarkAblationChiSquareAlpha(b *testing.B) {
+	for _, alpha := range []float64{0.001, 0.01, 0.1} {
+		b.Run(percentName(alpha), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = ablate(b, &cf.Learner{Opts: cf.Options{Alpha: alpha}}, benchCV(), false)
+			}
+			b.ReportMetric(acc*100, "acc-%")
+		})
+	}
+}
+
+// BenchmarkAblationKNNK sweeps k in k-nearest neighbors (the paper fixes
+// k=5).
+func BenchmarkAblationKNNK(b *testing.B) {
+	for _, k := range []int{1, 5, 15} {
+		b.Run(intName("k", k), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = ablate(b, &knn.Learner{Opts: knn.Options{K: k}}, benchCV(), false)
+			}
+			b.ReportMetric(acc*100, "acc-%")
+		})
+	}
+}
+
+// BenchmarkAblationForestSize sweeps the random-forest ensemble size (the
+// paper fixes 100 trees).
+func BenchmarkAblationForestSize(b *testing.B) {
+	for _, trees := range []int{10, 30, 100} {
+		b.Run(intName("trees", trees), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = ablate(b, &forest.Learner{Opts: forest.Options{Trees: trees, Seed: 1}}, benchCV(), false)
+			}
+			b.ReportMetric(acc*100, "acc-%")
+		})
+	}
+}
+
+// BenchmarkAblationScopeHops sweeps the geographic scope radius (the paper
+// fixes 1 X2 hop).
+func BenchmarkAblationScopeHops(b *testing.B) {
+	for _, hops := range []int{1, 2, 3} {
+		b.Run(intName("hops", hops), func(b *testing.B) {
+			cv := benchCV()
+			cv.Hops = hops
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = ablate(b, cf.New(), cv, true)
+			}
+			b.ReportMetric(acc*100, "acc-%")
+		})
+	}
+}
+
+// helpers
+
+func evalTable(w *auric.World, pi, market int) *dataset.Table {
+	return dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, market))
+}
+
+func percentName(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+func intName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

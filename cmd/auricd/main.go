@@ -1,0 +1,244 @@
+// Command auricd serves configuration recommendations over HTTP, the way
+// Auric is consumed inside the SmartLaunch automation (Sec 5).
+//
+// It generates (or, in a real deployment, would load) a network snapshot,
+// trains the local collaborative-filtering engine, and serves:
+//
+//	GET  /healthz                 -> ok
+//	GET  /v1/network              -> network summary JSON
+//	GET  /v1/carriers/{id}        -> carrier attributes JSON
+//	POST /v1/recommend            -> recommendations for a carrier
+//
+// The recommend body identifies either an existing carrier by id, or a new
+// carrier by eNodeB + frequency:
+//
+//	{"carrier": 123}
+//	{"enodeb": 45, "frequencyMHz": 1900}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"auric"
+	"auric/internal/rng"
+	"auric/internal/snapshot"
+)
+
+type server struct {
+	schema *auric.Schema
+	net    *auric.Network
+	x2     *auric.X2Graph
+	engine *auric.Engine
+	// world is present when the network was generated in-process; it
+	// enables richer new-carrier synthesis. Snapshot-served networks run
+	// with world == nil and derive new carriers from a co-sited donor.
+	world  *auric.World
+	newRNG *rng.RNG
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8400", "listen address")
+		seed    = flag.Uint64("seed", 1, "network generation seed")
+		markets = flag.Int("markets", 4, "number of markets")
+		enbs    = flag.Int("enbs", 30, "eNodeBs per market")
+		load    = flag.String("load", "", "serve a network snapshot (auricgen -save) instead of generating")
+	)
+	flag.Parse()
+
+	s := &server{newRNG: rng.New(*seed ^ 0xd)}
+	if *load != "" {
+		log.Printf("loading snapshot %s", *load)
+		net, cfg, err := snapshot.Load(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.schema, s.net = cfg.Schema(), net
+		s.x2 = auric.BuildX2(net)
+		log.Printf("training local collaborative-filtering engine on %d carriers", len(net.Carriers))
+		s.engine = auric.NewEngine(s.schema, auric.EngineOptions{Local: true})
+		if err := s.engine.Train(net, s.x2, cfg); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Printf("generating network (seed=%d, %d markets x %d eNodeBs)", *seed, *markets, *enbs)
+		w := auric.SimulateNetwork(auric.NetworkOptions{Seed: *seed, Markets: *markets, ENodeBsPerMarket: *enbs})
+		log.Printf("training local collaborative-filtering engine on %d carriers", len(w.Net.Carriers))
+		engine := auric.NewEngine(w.Schema, auric.EngineOptions{Local: true})
+		if err := engine.Train(w.Net, w.X2, w.Current); err != nil {
+			log.Fatal(err)
+		}
+		s.world, s.engine = w, engine
+		s.schema, s.net, s.x2 = w.Schema, w.Net, w.X2
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("GET /v1/network", s.handleNetwork)
+	mux.HandleFunc("GET /v1/carriers/", s.handleCarrier)
+	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+
+	log.Printf("auricd listening on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleNetwork(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, map[string]any{
+		"markets":  len(s.net.Markets),
+		"enodebs":  len(s.net.ENodeBs),
+		"carriers": len(s.net.Carriers),
+		"schema": map[string]int{
+			"parameters": s.schema.Len(),
+			"singular":   len(s.schema.Singular()),
+			"pairwise":   len(s.schema.PairWise()),
+		},
+	})
+}
+
+func (s *server) handleCarrier(rw http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/carriers/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 || id >= len(s.net.Carriers) {
+		http.Error(rw, "unknown carrier", http.StatusNotFound)
+		return
+	}
+	c := &s.net.Carriers[id]
+	attrs := map[string]string{}
+	names := attributeNames()
+	for i, v := range c.AttributeVector() {
+		attrs[names[i]] = v
+	}
+	writeJSON(rw, map[string]any{
+		"id":         c.ID,
+		"enodeb":     c.ENodeB,
+		"face":       c.Face,
+		"attributes": attrs,
+		"neighbors":  s.x2.CarrierNeighbors(c.ID),
+	})
+}
+
+type recommendRequest struct {
+	Carrier      *int `json:"carrier"`
+	ENodeB       *int `json:"enodeb"`
+	FrequencyMHz int  `json:"frequencyMHz"`
+	// Pairwise includes pair-wise recommendations towards the carrier's
+	// X2 neighbors.
+	Pairwise bool `json:"pairwise"`
+}
+
+type recommendation struct {
+	Param       string  `json:"param"`
+	Neighbor    int     `json:"neighbor,omitempty"`
+	Value       float64 `json:"value"`
+	Confidence  float64 `json:"confidence"`
+	Supported   bool    `json:"supported"`
+	Explanation string  `json:"explanation"`
+}
+
+func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var (
+		carrier   *auric.Carrier
+		neighbors []auric.CarrierID
+	)
+	switch {
+	case req.Carrier != nil:
+		id := *req.Carrier
+		if id < 0 || id >= len(s.net.Carriers) {
+			http.Error(rw, "unknown carrier", http.StatusNotFound)
+			return
+		}
+		carrier = &s.net.Carriers[id]
+		if req.Pairwise {
+			neighbors = s.x2.CarrierNeighbors(carrier.ID)
+		}
+	case req.ENodeB != nil:
+		enb := *req.ENodeB
+		if enb < 0 || enb >= len(s.net.ENodeBs) {
+			http.Error(rw, "unknown eNodeB", http.StatusNotFound)
+			return
+		}
+		nc := s.newCarrierAt(auric.ENodeBID(enb))
+		if nc == nil {
+			http.Error(rw, "eNodeB hosts no carriers to derive from", http.StatusConflict)
+			return
+		}
+		if req.FrequencyMHz != 0 {
+			nc.FrequencyMHz = req.FrequencyMHz
+		}
+		carrier = nc
+	default:
+		http.Error(rw, "specify carrier or enodeb", http.StatusBadRequest)
+		return
+	}
+
+	recs, err := s.engine.Recommend(carrier, neighbors)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := make([]recommendation, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, recommendation{
+			Param:       rec.Param,
+			Neighbor:    int(rec.Neighbor),
+			Value:       rec.Value,
+			Confidence:  rec.Confidence,
+			Supported:   rec.Supported,
+			Explanation: rec.Explanation,
+		})
+	}
+	writeJSON(rw, map[string]any{
+		"carrier":         carrier.ID,
+		"recommendations": out,
+	})
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("auricd: encoding response: %v", err)
+	}
+}
+
+func attributeNames() []string {
+	return []string{
+		"carrierFrequency", "carrierType", "carrierInfo", "morphology",
+		"channelBandwidth", "downlinkMimoMode", "hardwareConfiguration",
+		"expectedCellSize", "trackingAreaCode", "market", "vendor",
+		"neighborChannel", "neighborsOnSameENodeB", "softwareVersion",
+	}
+}
+
+// newCarrierAt synthesizes a launch-ready carrier on an existing eNodeB:
+// via the generator when available, otherwise by copying a co-sited donor
+// carrier (the vendor's own practice).
+func (s *server) newCarrierAt(enb auric.ENodeBID) *auric.Carrier {
+	id := auric.CarrierID(len(s.net.Carriers))
+	if s.world != nil {
+		return s.world.NewCarrierAt(enb, id, s.newRNG)
+	}
+	e := &s.net.ENodeBs[enb]
+	if len(e.Carriers) == 0 {
+		return nil
+	}
+	donor := s.net.Carriers[e.Carriers[0]]
+	donor.ID = id
+	donor.ENodeB = enb
+	donor.NeighborsOnENB = len(e.Carriers)
+	return &donor
+}

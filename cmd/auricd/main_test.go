@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"auric"
+	"auric/internal/rng"
+	"auric/internal/snapshot"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: 2, Markets: 1, ENodeBsPerMarket: 10})
+	engine := auric.NewEngine(w.Schema, auric.EngineOptions{Local: true})
+	if err := engine.Train(w.Net, w.X2, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	return &server{
+		schema: w.Schema, net: w.Net, x2: w.X2,
+		world: w, engine: engine, newRNG: rng.New(1),
+	}
+}
+
+func TestHandleNetwork(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleNetwork(rec, httptest.NewRequest("GET", "/v1/network", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["carriers"].(float64) == 0 {
+		t.Error("no carriers reported")
+	}
+}
+
+func TestHandleCarrier(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleCarrier(rec, httptest.NewRequest("GET", "/v1/carriers/3", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		ID         int               `json:"id"`
+		Attributes map[string]string `json:"attributes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ID != 3 || body.Attributes["morphology"] == "" {
+		t.Errorf("carrier body = %+v", body)
+	}
+
+	rec = httptest.NewRecorder()
+	s.handleCarrier(rec, httptest.NewRequest("GET", "/v1/carriers/999999", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown carrier status = %d", rec.Code)
+	}
+}
+
+func TestHandleRecommendExisting(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(`{"carrier": 5}`))
+	s.handleRecommend(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Recommendations []recommendation `json:"recommendations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Recommendations) != 39 {
+		t.Fatalf("got %d recommendations, want 39 singular", len(body.Recommendations))
+	}
+	for _, r := range body.Recommendations {
+		if r.Param == "" || r.Explanation == "" {
+			t.Fatalf("incomplete recommendation %+v", r)
+		}
+	}
+}
+
+func TestHandleRecommendNewCarrier(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/recommend",
+		strings.NewReader(`{"enodeb": 4, "frequencyMHz": 1900}`))
+	s.handleRecommend(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHandleRecommendBadRequests(t *testing.T) {
+	s := testServer(t)
+	tests := []struct {
+		body string
+		want int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"carrier": 999999}`, http.StatusNotFound},
+		{`{"enodeb": 999999}`, http.StatusNotFound},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, tc := range tests {
+		rec := httptest.NewRecorder()
+		s.handleRecommend(rec, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(tc.body)))
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, rec.Code, tc.want)
+		}
+	}
+}
+
+func TestSnapshotServedServer(t *testing.T) {
+	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: 3, Markets: 1, ENodeBsPerMarket: 8})
+	path := filepath.Join(t.TempDir(), "net.json.gz")
+	if err := snapshot.Save(path, w.Net, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	net, cfg, err := snapshot.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := auric.BuildX2(net)
+	engine := auric.NewEngine(cfg.Schema(), auric.EngineOptions{Local: true})
+	if err := engine.Train(net, x2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{schema: cfg.Schema(), net: net, x2: x2, engine: engine, newRNG: rng.New(1)}
+
+	// New-carrier recommendation without a generator world: donor copy.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(`{"enodeb": 2, "frequencyMHz": 2100}`))
+	s.handleRecommend(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}

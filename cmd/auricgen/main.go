@@ -1,0 +1,121 @@
+// Command auricgen generates a synthetic LTE network snapshot and prints
+// its inventory, or exports the configuration as CSV for external
+// analysis.
+//
+// Usage:
+//
+//	auricgen [-seed N] [-markets N] [-enbs N] [-csv params.csv] [-summary]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"auric"
+	"auric/internal/report"
+	"auric/internal/snapshot"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "generation seed")
+		markets = flag.Int("markets", 28, "number of markets")
+		enbs    = flag.Int("enbs", 60, "eNodeBs per market")
+		csvPath = flag.String("csv", "", "write singular parameter values as CSV to this path")
+		outPath = flag.String("save", "", "write a network+configuration snapshot (gzipped JSON) to this path")
+		summary = flag.Bool("summary", true, "print the network summary")
+	)
+	flag.Parse()
+
+	w := auric.SimulateNetwork(auric.NetworkOptions{
+		Seed:             *seed,
+		Markets:          *markets,
+		ENodeBsPerMarket: *enbs,
+	})
+
+	if *summary {
+		printSummary(w)
+	}
+	if *csvPath != "" {
+		if err := writeCSV(w, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, "auricgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if *outPath != "" {
+		if err := snapshot.Save(*outPath, w.Net, w.Current); err != nil {
+			fmt.Fprintln(os.Stderr, "auricgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}
+
+func printSummary(w *auric.World) {
+	edges := 0
+	for ci := range w.Net.Carriers {
+		edges += len(w.X2.CarrierNeighbors(auric.CarrierID(ci)))
+	}
+	singular := len(w.Schema.Singular())
+	pairwise := len(w.Schema.PairWise())
+	fmt.Printf("markets: %d\neNodeBs: %s\ncarriers: %s\nX2 relations: %s\n",
+		len(w.Net.Markets), report.Count(len(w.Net.ENodeBs)),
+		report.Count(len(w.Net.Carriers)), report.Count(edges))
+	fmt.Printf("parameters: %d (%d singular, %d pair-wise)\n",
+		w.Schema.Len(), singular, pairwise)
+	fmt.Printf("configuration values: %s\n",
+		report.Count(len(w.Net.Carriers)*singular+edges*pairwise))
+
+	rows := make([][]string, 0, len(w.Net.Markets))
+	for _, m := range w.Net.Markets {
+		carriers := len(w.Net.CarriersInMarket(m.ID))
+		rows = append(rows, []string{
+			m.Name, m.Timezone,
+			strconv.Itoa(w.Net.ENodeBsInMarket(m.ID)),
+			strconv.Itoa(carriers),
+		})
+	}
+	fmt.Println()
+	fmt.Print(report.Table([]string{"market", "timezone", "eNodeBs", "carriers"}, rows))
+}
+
+func writeCSV(w *auric.World, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	header := append([]string{"carrier"}, attributeHeader()...)
+	for _, pi := range w.Schema.Singular() {
+		header = append(header, w.Schema.At(pi).Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for ci := range w.Net.Carriers {
+		c := &w.Net.Carriers[ci]
+		row := append([]string{strconv.Itoa(ci)}, c.AttributeVector()...)
+		for _, pi := range w.Schema.Singular() {
+			row = append(row, w.Schema.At(pi).Format(w.Current.Get(c.ID, pi)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func attributeHeader() []string {
+	return []string{
+		"carrierFrequency", "carrierType", "carrierInfo", "morphology",
+		"channelBandwidth", "downlinkMimoMode", "hardwareConfiguration",
+		"expectedCellSize", "trackingAreaCode", "market", "vendor",
+		"neighborChannel", "neighborsOnSameENodeB", "softwareVersion",
+	}
+}

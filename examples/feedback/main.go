@@ -1,0 +1,95 @@
+// Feedback: the Sec 6 future-work loop. A new carrier is launched with
+// Auric's recommendations; once it carries traffic, simulated KPIs
+// (throughput, drops, handover failures, accessibility) are observed, and
+// a guard rolls the changes back if service degraded — the paper's
+// response to inaccurate recommendations (Sec 4.3.3).
+//
+//	go run ./examples/feedback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"auric"
+)
+
+func main() {
+	world := auric.SimulateNetwork(auric.NetworkOptions{
+		Seed:             21,
+		Markets:          2,
+		ENodeBsPerMarket: 20,
+	})
+	engine := auric.NewEngine(world.Schema, auric.EngineOptions{Local: true})
+	if err := engine.Train(world.Net, world.X2, world.Current); err != nil {
+		log.Fatal(err)
+	}
+
+	store := world.Current.Clone()
+	store.Grow(1)
+	srv := auric.NewEMSServer(world.Schema, store, auric.EMSConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := auric.DialEMS(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Integrate a new carrier with a stale vendor template.
+	newID := auric.CarrierID(len(world.Net.Carriers))
+	carrier := world.NewCarrierAt(6, newID, auric.NewRand(33))
+	for _, pi := range world.Schema.Singular() {
+		store.Set(newID, pi, world.RulebookSingularFor(carrier)[pi])
+	}
+	srv.ForceLock(newID)
+
+	// The KPI simulator scores configurations against the (hidden)
+	// engineer-intended optimum; the guard keeps the changes only if the
+	// carrier performs at least as well as it would have on the vendor
+	// template alone.
+	sim := auric.NewKPISimulator(world, 1)
+	sim.RegisterCarrier(carrier)
+	baseline := auric.KPIScore(sim.Measure(newID, store))
+	guard := func(id auric.CarrierID) bool {
+		report := sim.Measure(id, store)
+		score := auric.KPIScore(report)
+		fmt.Printf("\npost-launch KPIs for carrier %d:\n", id)
+		fmt.Printf("  downlink throughput: %6.1f Mbps\n", report.Get(auric.DownlinkThroughput))
+		fmt.Printf("  call drop rate:      %6.2f %%\n", report.Get(auric.CallDropRate))
+		fmt.Printf("  handover failures:   %6.2f %%\n", report.Get(auric.HandoverFailureRate))
+		fmt.Printf("  accessibility:       %6.2f %%\n", report.Get(auric.AccessibilityRate))
+		fmt.Printf("  quality score:       %6.3f (vendor-template baseline %.3f)\n", score, baseline)
+		return score >= baseline
+	}
+
+	// The regional engineer reviews every planned change before the push
+	// (Sec 5); here the engineer approves changes that land on the
+	// region's intended configuration.
+	intended := world.IntendedSingularFor(carrier)
+	ctrl := auric.NewController(world.Schema, client, auric.ControllerOptions{
+		RequireSupport: true,
+		Validate: func(ch auric.Change) bool {
+			return ch.Neighbor < 0 && ch.To == intended[ch.ParamIndex]
+		},
+	})
+	wf := &auric.LaunchWorkflow{Engine: engine, Ctrl: ctrl, Client: client, Guard: guard}
+
+	rec, err := wf.Launch(carrier, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := auric.KPIScore(sim.Measure(newID, store))
+
+	fmt.Printf("\nlaunch: planned=%d pushed=%d rolledBack=%v\n", rec.Planned, rec.Pushed, rec.RolledBack)
+	fmt.Printf("quality score with the vendor template: %.3f\n", baseline)
+	fmt.Printf("quality score after the launch:         %.3f\n", after)
+	if after > baseline {
+		fmt.Println("-> Auric's changes improved service performance and were kept")
+	} else if rec.RolledBack {
+		fmt.Println("-> the guard rolled the changes back to protect service")
+	}
+}

@@ -1,0 +1,60 @@
+// Market analysis: the Sec 2.6 study that motivates Auric. Generates a
+// network, measures per-parameter variability (distinct values) and
+// skewness across markets, and shows why rule-books cannot capture the
+// range parameters engineers tune per location.
+//
+//	go run ./examples/marketanalysis
+package main
+
+import (
+	"fmt"
+
+	"auric"
+)
+
+func main() {
+	world := auric.SimulateNetwork(auric.NetworkOptions{
+		Seed:             3,
+		Markets:          8,
+		ENodeBsPerMarket: 30,
+	})
+	fmt.Printf("analyzing %d carriers across %d markets\n\n",
+		len(world.Net.Carriers), len(world.Net.Markets))
+
+	// Fig 2: distinct values per parameter, network-wide.
+	variability := auric.Variability(world)
+	fmt.Println("most variable configuration parameters (distinct values network-wide):")
+	for _, row := range variability[:10] {
+		fmt.Printf("  %-26s %4d\n", row.Param, row.Distinct)
+	}
+	over10 := 0
+	for _, row := range variability {
+		if row.Distinct > 10 {
+			over10++
+		}
+	}
+	fmt.Printf("parameters exceeding 10 distinct values: %d of %d\n\n", over10, len(variability))
+
+	// Fig 3: the same parameter varies differently per market.
+	perMarket := auric.MarketVariability(world)
+	top := variability[0].Param
+	for _, row := range perMarket {
+		if row.Param != top {
+			continue
+		}
+		fmt.Printf("distinct values of %s per market:", top)
+		for m, d := range row.PerMarket {
+			fmt.Printf("  m%d=%d", m+1, d)
+		}
+		fmt.Println()
+	}
+
+	// Fig 4: skewness classification.
+	_, byClass := auric.Skewness(world)
+	fmt.Printf("\nskewness of parameter value distributions:\n")
+	fmt.Printf("  highly skewed:     %d\n", byClass[auric.HighlySkewed])
+	fmt.Printf("  moderately skewed: %d\n", byClass[auric.ModeratelySkewed])
+	fmt.Printf("  symmetric:         %d\n", byClass[auric.Symmetric])
+	fmt.Println("\n(the paper finds 33 highly and 12 moderately skewed of 65 — high")
+	fmt.Println("variability and skew are what defeat rule-books and classic classifiers)")
+}

@@ -1,0 +1,91 @@
+// New-carrier launch: the full Sec 5 pipeline on one carrier. A vendor
+// integrates a new radio channel on an existing eNodeB with configuration
+// from a stale rulebook; Auric recommends corrections; the controller
+// diffs and pushes only the mismatches through a live EMS (a real TCP
+// server in this process) while the carrier is still locked; then the
+// carrier goes on air.
+//
+//	go run ./examples/newcarrier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"auric"
+)
+
+func main() {
+	world := auric.SimulateNetwork(auric.NetworkOptions{
+		Seed:             7,
+		Markets:          2,
+		ENodeBsPerMarket: 24,
+	})
+
+	engine := auric.NewEngine(world.Schema, auric.EngineOptions{Local: true})
+	if err := engine.Train(world.Net, world.X2, world.Current); err != nil {
+		log.Fatal(err)
+	}
+
+	// The EMS fronts a copy of the live configuration, grown by one slot
+	// for the carrier about to be integrated.
+	store := world.Current.Clone()
+	store.Grow(1)
+	srv := auric.NewEMSServer(world.Schema, store, auric.EMSConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("EMS simulator listening on %s\n", addr)
+
+	// The vendor integrates a new carrier on eNodeB 11 using an
+	// out-of-date rulebook template, and leaves it locked.
+	newID := auric.CarrierID(len(world.Net.Carriers))
+	carrier := world.NewCarrierAt(11, newID, auric.NewRand(99))
+	stale := world.RulebookSingularFor(carrier)
+	for _, pi := range world.Schema.Singular() {
+		store.Set(newID, pi, stale[pi])
+	}
+	srv.ForceLock(newID)
+	fmt.Printf("vendor integrated carrier %d: %d MHz on eNodeB %d (locked)\n\n",
+		newID, carrier.FrequencyMHz, carrier.ENodeB)
+
+	// SmartLaunch: recommend, diff, push, unlock, post-check.
+	client, err := auric.DialEMS(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctrl := auric.NewController(world.Schema, client, auric.ControllerOptions{
+		RequireSupport: true,
+		Validate: func(ch auric.Change) bool {
+			fmt.Printf("engineer reviews %-24s %v -> %v\n    %s\n", ch.Param, ch.From, ch.To, ch.Explanation)
+			return true // this engineer trusts Auric (Sec 5: validation becomes optional)
+		},
+	})
+	wf := &auric.LaunchWorkflow{Engine: engine, Ctrl: ctrl, Client: client}
+
+	rec, err := wf.Launch(carrier, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlaunch record: planned=%d pushed=%d outcome=%s unlocked=%v postcheck=%v\n",
+		rec.Planned, rec.Pushed, rec.Outcome, rec.Unlocked, rec.PostcheckOK)
+
+	// How much closer to the engineer-intended configuration did we get?
+	intended := world.IntendedSingularFor(carrier)
+	fixed, remaining := 0, 0
+	for _, pi := range world.Schema.Singular() {
+		if stale[pi] == intended[pi] {
+			continue
+		}
+		if store.Get(newID, pi) == intended[pi] {
+			fixed++
+		} else {
+			remaining++
+		}
+	}
+	fmt.Printf("vendor template deviated on %d parameters; Auric corrected %d of them\n",
+		fixed+remaining, fixed)
+}

@@ -1,0 +1,57 @@
+// Quickstart: generate a small synthetic LTE network, train Auric's local
+// collaborative-filtering engine, and recommend the configuration of an
+// existing carrier — then compare against what the network actually runs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"auric"
+)
+
+func main() {
+	// A small deterministic network: 2 markets, 20 eNodeBs each.
+	world := auric.SimulateNetwork(auric.NetworkOptions{
+		Seed:             42,
+		Markets:          2,
+		ENodeBsPerMarket: 20,
+	})
+	fmt.Printf("network: %d carriers on %d eNodeBs in %d markets\n",
+		len(world.Net.Carriers), len(world.Net.ENodeBs), len(world.Net.Markets))
+
+	// Train the engine Auric ships with: collaborative filtering with
+	// chi-square dependency selection, scoped to the X2 neighborhood.
+	engine := auric.NewEngine(world.Schema, auric.EngineOptions{Local: true})
+	if err := engine.Train(world.Net, world.X2, world.Current); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pretend carrier 17 is newly added and ask for its configuration.
+	carrier := &world.Net.Carriers[17]
+	recs, err := engine.Recommend(carrier, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nrecommendations for carrier %d (%d MHz, %s, market %d):\n\n",
+		carrier.ID, carrier.FrequencyMHz, carrier.Morphology, carrier.Market)
+	matches := 0
+	for i, r := range recs {
+		current := world.Current.Get(carrier.ID, r.ParamIndex)
+		mark := " "
+		if r.Value == current {
+			matches++
+			mark = "="
+		}
+		if i < 8 { // print the first few in full
+			fmt.Printf("%s %-24s -> %-8v (confidence %.0f%%, currently %v)\n",
+				mark, r.Param, r.Value, r.Confidence*100, current)
+			fmt.Printf("    because: %s\n", r.Explanation)
+		}
+	}
+	fmt.Printf("\n%d of %d singular recommendations match the running configuration\n",
+		matches, len(recs))
+}

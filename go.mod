@@ -1,0 +1,3 @@
+module auric
+
+go 1.22

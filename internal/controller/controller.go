@@ -1,0 +1,211 @@
+// Package controller implements the configuration controller of Sec 5: it
+// compares Auric's recommendations against the configuration the vendor
+// generated for a new carrier, and pushes only the mismatches through the
+// EMS into the base station, optionally after an engineer validation gate.
+package controller
+
+import (
+	"fmt"
+
+	"auric/internal/core"
+	"auric/internal/ems"
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+)
+
+// Change is one parameter difference between the vendor configuration and
+// Auric's recommendation.
+type Change struct {
+	Carrier  lte.CarrierID
+	Neighbor lte.CarrierID // -1 for singular parameters
+	Param    string
+	// ParamIndex is the schema index of Param.
+	ParamIndex int
+	From, To   float64
+	// Confidence is the recommendation's voting support.
+	Confidence float64
+	// Explanation carries the recommendation's reasoning for the
+	// engineer reviewing the change.
+	Explanation string
+}
+
+// Outcome classifies the result of an Apply run.
+type Outcome int
+
+const (
+	// Applied: every planned change was pushed.
+	Applied Outcome = iota
+	// SkippedUnlocked: the carrier was found unlocked (someone unlocked
+	// it prematurely through an off-band interface); no changes pushed to
+	// avoid disrupting live traffic.
+	SkippedUnlocked
+	// TimedOut: the EMS execution queue timed out mid-push; the push was
+	// abandoned.
+	TimedOut
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Applied:
+		return "applied"
+	case SkippedUnlocked:
+		return "skipped-unlocked"
+	case TimedOut:
+		return "timed-out"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Options configure a controller.
+type Options struct {
+	// RequireSupport drops recommendations that did not reach the CF
+	// voting-support threshold.
+	RequireSupport bool
+	// Validate is the engineer validation gate: it sees every planned
+	// change and returns false to drop it. Nil approves everything (the
+	// mature-deployment mode where "manual validation of mismatches
+	// becomes optional", Sec 5).
+	Validate func(Change) bool
+	// Bulk pushes all singular changes of a carrier in one atomic EMS
+	// execution instead of one execution per parameter — the controller
+	// enhancement the paper says it is building to eliminate the
+	// execution-queue timeouts (Sec 5). Pair-wise changes still push
+	// individually.
+	Bulk bool
+}
+
+// Controller plans and applies configuration changes over an EMS session.
+type Controller struct {
+	schema *paramspec.Schema
+	client *ems.Client
+	opts   Options
+}
+
+// New creates a controller over an EMS client connection.
+func New(schema *paramspec.Schema, client *ems.Client, opts Options) *Controller {
+	return &Controller{schema: schema, client: client, opts: opts}
+}
+
+// Plan diffs recommendations against the vendor-generated configuration
+// read from the EMS and returns only the mismatches, in recommendation
+// order. Unsupported recommendations are dropped when RequireSupport is
+// set; the Validate gate filters the rest.
+func (c *Controller) Plan(id lte.CarrierID, recs []core.Recommendation) ([]Change, error) {
+	var out []Change
+	for _, r := range recs {
+		if c.opts.RequireSupport && !r.Supported {
+			continue
+		}
+		spec := c.schema.At(r.ParamIndex)
+		var current float64
+		var err error
+		if r.Neighbor < 0 {
+			current, err = c.client.Get(id, r.Param)
+		} else {
+			current, err = c.client.GetRel(id, r.Neighbor, r.Param)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("controller: reading %s: %w", r.Param, err)
+		}
+		if spec.Format(current) == spec.Format(r.Value) {
+			continue // vendor already matches the recommendation
+		}
+		ch := Change{
+			Carrier:     id,
+			Neighbor:    r.Neighbor,
+			Param:       r.Param,
+			ParamIndex:  r.ParamIndex,
+			From:        current,
+			To:          r.Value,
+			Confidence:  r.Confidence,
+			Explanation: r.Explanation,
+		}
+		if c.opts.Validate != nil && !c.opts.Validate(ch) {
+			continue
+		}
+		out = append(out, ch)
+	}
+	return out, nil
+}
+
+// Apply pushes the planned changes for one carrier. It verifies the
+// carrier is still locked first (changes to these parameters require the
+// carrier off-air); a premature unlock skips the whole push, and an EMS
+// timeout abandons the remainder. It returns how many changes were pushed
+// and the outcome.
+func (c *Controller) Apply(id lte.CarrierID, changes []Change) (pushed int, outcome Outcome, err error) {
+	locked, err := c.client.State(id)
+	if err != nil {
+		return 0, SkippedUnlocked, fmt.Errorf("controller: reading state: %w", err)
+	}
+	if !locked {
+		return 0, SkippedUnlocked, nil
+	}
+	if c.opts.Bulk {
+		return c.applyBulk(id, changes)
+	}
+	for _, ch := range changes {
+		var setErr error
+		if ch.Neighbor < 0 {
+			setErr = c.client.Set(id, ch.Param, ch.To)
+		} else {
+			setErr = c.client.SetRel(id, ch.Neighbor, ch.Param, ch.To)
+		}
+		switch {
+		case setErr == nil:
+			pushed++
+		case ems.IsTimeout(setErr):
+			return pushed, TimedOut, nil
+		case ems.IsUnlocked(setErr):
+			// Unlocked between State and Set: same premature-unlock
+			// fall-out.
+			return pushed, SkippedUnlocked, nil
+		default:
+			return pushed, Applied, fmt.Errorf("controller: pushing %s: %w", ch.Param, setErr)
+		}
+	}
+	return pushed, Applied, nil
+}
+
+// applyBulk pushes all singular changes in one atomic EMS execution, then
+// the pair-wise changes individually.
+func (c *Controller) applyBulk(id lte.CarrierID, changes []Change) (pushed int, outcome Outcome, err error) {
+	var assigns []ems.Assignment
+	var pairs []Change
+	for _, ch := range changes {
+		if ch.Neighbor < 0 {
+			assigns = append(assigns, ems.Assignment{Param: ch.Param, Value: ch.To})
+		} else {
+			pairs = append(pairs, ch)
+		}
+	}
+	if len(assigns) > 0 {
+		n, setErr := c.client.BulkSet(id, assigns)
+		pushed += n
+		switch {
+		case setErr == nil:
+		case ems.IsTimeout(setErr):
+			return pushed, TimedOut, nil
+		case ems.IsUnlocked(setErr):
+			return pushed, SkippedUnlocked, nil
+		default:
+			return pushed, Applied, fmt.Errorf("controller: bulk push: %w", setErr)
+		}
+	}
+	for _, ch := range pairs {
+		setErr := c.client.SetRel(id, ch.Neighbor, ch.Param, ch.To)
+		switch {
+		case setErr == nil:
+			pushed++
+		case ems.IsTimeout(setErr):
+			return pushed, TimedOut, nil
+		case ems.IsUnlocked(setErr):
+			return pushed, SkippedUnlocked, nil
+		default:
+			return pushed, Applied, fmt.Errorf("controller: pushing %s: %w", ch.Param, setErr)
+		}
+	}
+	return pushed, Applied, nil
+}

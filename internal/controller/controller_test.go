@@ -1,0 +1,185 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"auric/internal/core"
+	"auric/internal/ems"
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+)
+
+func setup(t *testing.T, emsCfg ems.Config) (*ems.Server, *ems.Client, *paramspec.Schema) {
+	srv, client, schema, _ := setupAddr(t, emsCfg)
+	return srv, client, schema
+}
+
+func setupAddr(t *testing.T, emsCfg ems.Config) (*ems.Server, *ems.Client, *paramspec.Schema, string) {
+	t.Helper()
+	schema := paramspec.Default()
+	store := lte.NewConfig(schema, 4)
+	srv := ems.NewServer(schema, store, emsCfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := ems.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client, schema, addr
+}
+
+func rec(schema *paramspec.Schema, param string, v float64, supported bool) core.Recommendation {
+	pi := schema.IndexOf(param)
+	spec := schema.At(pi)
+	return core.Recommendation{
+		Param: param, ParamIndex: pi, Neighbor: -1,
+		Value: spec.Quantize(v), Label: spec.Format(v),
+		Confidence: 0.9, Supported: supported,
+		Explanation: "test recommendation",
+	}
+}
+
+func TestPlanDiffsOnlyMismatches(t *testing.T) {
+	srv, client, schema := setup(t, ems.Config{})
+	srv.ForceLock(1)
+	// Vendor configured pMax=30; capacityThreshold left at Min (0).
+	if err := client.Set(1, "pMax", 30); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(schema, client, Options{})
+	recs := []core.Recommendation{
+		rec(schema, "pMax", 30, true),              // matches vendor -> no change
+		rec(schema, "capacityThreshold", 70, true), // differs -> change
+	}
+	changes, err := ctrl.Plan(1, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0].Param != "capacityThreshold" {
+		t.Fatalf("changes = %+v, want 1 capacityThreshold change", changes)
+	}
+	if changes[0].From != 0 || changes[0].To != 70 {
+		t.Errorf("change values = %v->%v", changes[0].From, changes[0].To)
+	}
+}
+
+func TestPlanRequireSupport(t *testing.T) {
+	srv, client, schema := setup(t, ems.Config{})
+	srv.ForceLock(1)
+	ctrl := New(schema, client, Options{RequireSupport: true})
+	changes, err := ctrl.Plan(1, []core.Recommendation{
+		rec(schema, "capacityThreshold", 70, false), // unsupported
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Errorf("unsupported recommendation was planned: %+v", changes)
+	}
+}
+
+func TestPlanValidateGate(t *testing.T) {
+	srv, client, schema := setup(t, ems.Config{})
+	srv.ForceLock(1)
+	vetoed := 0
+	ctrl := New(schema, client, Options{Validate: func(ch Change) bool {
+		vetoed++
+		return ch.Param != "capacityThreshold"
+	}})
+	changes, err := ctrl.Plan(1, []core.Recommendation{
+		rec(schema, "capacityThreshold", 70, true),
+		rec(schema, "sFreqPrio", 200, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vetoed != 2 {
+		t.Errorf("validation gate saw %d changes", vetoed)
+	}
+	if len(changes) != 1 || changes[0].Param != "sFreqPrio" {
+		t.Errorf("gate result = %+v", changes)
+	}
+}
+
+func TestApplyPushesChanges(t *testing.T) {
+	srv, client, schema := setup(t, ems.Config{})
+	srv.ForceLock(2)
+	ctrl := New(schema, client, Options{})
+	changes := []Change{
+		{Carrier: 2, Neighbor: -1, Param: "pMax", To: 24},
+		{Carrier: 2, Neighbor: -1, Param: "capacityThreshold", To: 55},
+	}
+	pushed, outcome, err := ctrl.Apply(2, changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed != 2 || outcome != Applied {
+		t.Fatalf("pushed=%d outcome=%v", pushed, outcome)
+	}
+	if v, _ := client.Get(2, "pMax"); v != 24 {
+		t.Errorf("pMax = %v after push", v)
+	}
+}
+
+func TestApplySkipsUnlockedCarrier(t *testing.T) {
+	srv, client, schema := setup(t, ems.Config{})
+	srv.ForceUnlock(2) // premature unlock
+	ctrl := New(schema, client, Options{})
+	pushed, outcome, err := ctrl.Apply(2, []Change{
+		{Carrier: 2, Neighbor: -1, Param: "pMax", To: 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed != 0 || outcome != SkippedUnlocked {
+		t.Fatalf("pushed=%d outcome=%v, want skip", pushed, outcome)
+	}
+	if v, _ := client.Get(2, "pMax"); v != 0 {
+		t.Error("value changed despite skip")
+	}
+}
+
+func TestApplyReportsTimeout(t *testing.T) {
+	srv, client, schema, addr := setupAddr(t, ems.Config{
+		MaxConcurrentSets: 1,
+		SetLatency:        50 * time.Millisecond,
+		QueueTimeout:      10 * time.Millisecond,
+	})
+	srv.ForceLock(0)
+	// Saturate the single execution slot from a second connection.
+	blocker, err := ems.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		blocker.Set(0, "pMax", 6) // holds the slot for 50ms
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	ctrl := New(schema, client, Options{})
+	pushed, outcome, err := ctrl.Apply(0, []Change{
+		{Carrier: 0, Neighbor: -1, Param: "capacityThreshold", To: 40},
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != TimedOut || pushed != 0 {
+		t.Fatalf("pushed=%d outcome=%v, want timeout", pushed, outcome)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Applied.String() != "applied" || SkippedUnlocked.String() != "skipped-unlocked" ||
+		TimedOut.String() != "timed-out" {
+		t.Error("Outcome.String mismatch")
+	}
+}

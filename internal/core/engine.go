@@ -1,0 +1,216 @@
+// Package core implements the Auric engine (Sec 3, Fig 5): it learns
+// per-parameter dependency models from the existing carriers of a network
+// and recommends configuration values for new carriers from their
+// attributes, optionally restricting the voting evidence to the carrier's
+// X2 geographic neighborhood (the local learner of Sec 3.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"auric/internal/dataset"
+	"auric/internal/geo"
+	"auric/internal/learn"
+	"auric/internal/learn/cf"
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+)
+
+// Options configure an engine.
+type Options struct {
+	// Learner builds the per-parameter models; nil means collaborative
+	// filtering with the paper's settings, the learner Auric ships with.
+	Learner learn.Learner
+	// Local enables geographic scoping: recommendations vote only among
+	// carriers within Hops X2 hops of the new carrier. Requires the
+	// learner's models to implement learn.ScopedModel (CF does).
+	Local bool
+	// Hops is the scoping radius; zero means 1 (the paper's setting).
+	Hops int
+	// Vendor, when non-empty, restricts training to carriers of that
+	// vendor — the paper formulates the problem independently per vendor
+	// (Sec 2.2).
+	Vendor string
+	// MaxSamples caps the training rows per parameter (0 = unlimited);
+	// subsampling is deterministic per parameter.
+	MaxSamples int
+}
+
+// Engine learns and serves configuration recommendations.
+type Engine struct {
+	opts   Options
+	schema *paramspec.Schema
+
+	net    *lte.Network
+	x2     *geo.Graph
+	models map[int]learn.Model // schema index -> fitted model
+}
+
+// New creates an engine over the given schema.
+func New(schema *paramspec.Schema, opts Options) *Engine {
+	if opts.Learner == nil {
+		opts.Learner = cf.New()
+	}
+	if opts.Hops <= 0 {
+		opts.Hops = 1
+	}
+	return &Engine{opts: opts, schema: schema, models: make(map[int]learn.Model)}
+}
+
+// Schema returns the engine's parameter schema.
+func (e *Engine) Schema() *paramspec.Schema { return e.schema }
+
+// LearnerName reports the configured learner.
+func (e *Engine) LearnerName() string { return e.opts.Learner.Name() }
+
+// Train fits one dependency model per configuration parameter from the
+// network's current configuration. It must be called before Recommend.
+func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
+	e.net, e.x2 = net, x2
+	var keep dataset.Filter
+	if e.opts.Vendor != "" {
+		vendor := e.opts.Vendor
+		keep = func(id lte.CarrierID) bool { return net.Carriers[id].Vendor == vendor }
+	}
+	for pi := 0; pi < e.schema.Len(); pi++ {
+		t := dataset.Build(net, x2, cfg, pi, keep)
+		if e.opts.MaxSamples > 0 {
+			t = t.Sample(e.opts.MaxSamples, uint64(pi)+1)
+		}
+		if t.Len() == 0 {
+			return fmt.Errorf("core: no training samples for %s", e.schema.At(pi).Name)
+		}
+		m, err := e.opts.Learner.Fit(t)
+		if err != nil {
+			return fmt.Errorf("core: fitting %s: %w", e.schema.At(pi).Name, err)
+		}
+		e.models[pi] = m
+	}
+	return nil
+}
+
+// Model returns the fitted model of one parameter (nil before Train).
+func (e *Engine) Model(pi int) learn.Model { return e.models[pi] }
+
+// Recommendation is one recommended configuration value.
+type Recommendation struct {
+	// Param names the configuration parameter.
+	Param string
+	// ParamIndex is the schema index.
+	ParamIndex int
+	// Neighbor is the target of a pair-wise recommendation, or -1.
+	Neighbor lte.CarrierID
+	// Value is the recommended grid value; Label its canonical form.
+	Value float64
+	Label string
+	// Confidence is the model's support, Supported whether it met the 75%
+	// voting threshold on full evidence (always true for non-CF models,
+	// which have no abstention semantics).
+	Confidence float64
+	Supported  bool
+	// Explanation is the human-readable account shown to engineers.
+	Explanation string
+}
+
+// Recommend produces recommendations for every parameter of a new carrier.
+// The carrier must reference an eNodeB of the trained network (it is
+// "ready for launch": physically integrated, locked, not yet carrying
+// traffic — Sec 5). neighbors lists the carrier's X2 neighbor carriers for
+// pair-wise parameters; pass nil to skip those.
+func (e *Engine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recommendation, error) {
+	if e.net == nil {
+		return nil, fmt.Errorf("core: engine not trained")
+	}
+	var scope func(dataset.Site) bool
+	if e.opts.Local {
+		scope = e.scopeFor(c)
+	}
+	var out []Recommendation
+	attrs := c.AttributeVector()
+	for _, pi := range e.schema.Singular() {
+		rec, err := e.recommendOne(pi, attrs, -1, scope)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	for _, nb := range neighbors {
+		pairAttrs := lte.PairAttributeVector(c, &e.net.Carriers[nb])
+		for _, pi := range e.schema.PairWise() {
+			rec, err := e.recommendOne(pi, pairAttrs, nb, scope)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Neighbor != out[j].Neighbor {
+			return out[i].Neighbor < out[j].Neighbor
+		}
+		return out[i].ParamIndex < out[j].ParamIndex
+	})
+	return out, nil
+}
+
+// recommendOne predicts one parameter, applying geographic scoping when
+// configured and available.
+func (e *Engine) recommendOne(pi int, attrs []string, neighbor lte.CarrierID, scope func(dataset.Site) bool) (Recommendation, error) {
+	m := e.models[pi]
+	if m == nil {
+		return Recommendation{}, fmt.Errorf("core: no model for parameter %d", pi)
+	}
+	var p learn.Prediction
+	if scope != nil {
+		sm, ok := m.(learn.ScopedModel)
+		if !ok {
+			return Recommendation{}, fmt.Errorf("core: learner %s cannot scope geographically", e.opts.Learner.Name())
+		}
+		p = sm.PredictScoped(attrs, scope)
+	} else {
+		p = m.Predict(attrs)
+	}
+	spec := e.schema.At(pi)
+	v, err := parseLabel(spec, p.Label)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	supported := p.Confidence >= 0.75
+	return Recommendation{
+		Param:       spec.Name,
+		ParamIndex:  pi,
+		Neighbor:    neighbor,
+		Value:       v,
+		Label:       p.Label,
+		Confidence:  p.Confidence,
+		Supported:   supported,
+		Explanation: p.Explanation,
+	}, nil
+}
+
+// scopeFor builds the allowed-site predicate for a new carrier: training
+// samples whose From carrier sits within Hops X2 hops of the carrier's
+// eNodeB.
+func (e *Engine) scopeFor(c *lte.Carrier) func(dataset.Site) bool {
+	// Anchoring on the eNodeB (not the carrier id) also covers new
+	// carriers that are not yet in the X2 graph: their eNodeB is.
+	allowed := make(map[lte.CarrierID]bool)
+	for _, id := range e.x2.CarriersNearENodeB(e.net, c.ENodeB, e.opts.Hops) {
+		if id != c.ID {
+			allowed[id] = true
+		}
+	}
+	return func(s dataset.Site) bool { return allowed[s.From] }
+}
+
+func parseLabel(spec paramspec.Param, label string) (float64, error) {
+	if label == "" {
+		return 0, fmt.Errorf("core: empty prediction for %s", spec.Name)
+	}
+	var v float64
+	if _, err := fmt.Sscanf(label, "%g", &v); err != nil {
+		return 0, fmt.Errorf("core: unparsable label %q for %s: %w", label, spec.Name, err)
+	}
+	return spec.Quantize(v), nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"auric/internal/learn/knn"
+	"auric/internal/lte"
+	"auric/internal/netsim"
+)
+
+func trainedEngine(t *testing.T, opts Options) (*Engine, *netsim.World) {
+	t.Helper()
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 16})
+	e := New(w.Schema, opts)
+	if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	return e, w
+}
+
+func TestRecommendCoversAllParameters(t *testing.T) {
+	e, w := trainedEngine(t, Options{})
+	c := &w.Net.Carriers[10]
+	nbs := w.X2.CarrierNeighbors(c.ID)
+	recs, err := e.Recommend(c, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(w.Schema.Singular()) + len(nbs)*len(w.Schema.PairWise())
+	if len(recs) != want {
+		t.Fatalf("got %d recommendations, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		spec := w.Schema.At(r.ParamIndex)
+		if !spec.Valid(r.Value) {
+			t.Errorf("recommendation for %s = %v off grid", r.Param, r.Value)
+		}
+		if r.Explanation == "" {
+			t.Errorf("recommendation for %s lacks an explanation", r.Param)
+		}
+		if r.Confidence < 0 || r.Confidence > 1 {
+			t.Errorf("confidence %v out of range", r.Confidence)
+		}
+	}
+}
+
+func TestRecommendationsMostlyMatchCurrent(t *testing.T) {
+	// Recommending for an existing carrier should largely reproduce its
+	// current configuration — the engine's own sanity bar.
+	e, w := trainedEngine(t, Options{})
+	hits, total := 0, 0
+	for ci := 0; ci < 30; ci++ {
+		c := &w.Net.Carriers[ci]
+		recs, err := e.Recommend(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			total++
+			if r.Value == w.Current.Get(c.ID, r.ParamIndex) {
+				hits++
+			}
+		}
+	}
+	if acc := float64(hits) / float64(total); acc < 0.9 {
+		t.Errorf("self-recommendation accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestLocalEngineUsesScope(t *testing.T) {
+	e, w := trainedEngine(t, Options{Local: true})
+	c := &w.Net.Carriers[5]
+	recs, err := e.Recommend(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	// At least some explanations should reference matching carriers (the
+	// CF vote), proving scoped prediction ran end to end.
+	found := false
+	for _, r := range recs {
+		if strings.Contains(r.Explanation, "matching") || strings.Contains(r.Explanation, "majority") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no CF-style explanations in scoped recommendations")
+	}
+}
+
+func TestLocalRequiresScopedModel(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 12})
+	e := New(w.Schema, Options{Local: true, Learner: knn.New(), MaxSamples: 200})
+	if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Recommend(&w.Net.Carriers[0], nil)
+	if err == nil || !strings.Contains(err.Error(), "cannot scope") {
+		t.Errorf("expected scoping error for kNN, got %v", err)
+	}
+}
+
+func TestVendorFilter(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 12})
+	vendor := w.Net.Carriers[0].Vendor
+	e := New(w.Schema, Options{Vendor: vendor})
+	if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := e.Recommend(&w.Net.Carriers[0], nil)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("vendor-scoped recommend: %v (%d recs)", err, len(recs))
+	}
+}
+
+func TestVendorFilterNoSamplesFails(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 12})
+	e := New(w.Schema, Options{Vendor: "NoSuchVendor"})
+	if err := e.Train(w.Net, w.X2, w.Current); err == nil {
+		t.Error("training with an unknown vendor should fail")
+	}
+}
+
+func TestRecommendBeforeTrain(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 12})
+	e := New(w.Schema, Options{})
+	if _, err := e.Recommend(&w.Net.Carriers[0], nil); err == nil {
+		t.Error("Recommend before Train should fail")
+	}
+}
+
+func TestNewCarrierNotInGraph(t *testing.T) {
+	// A carrier about to be launched: it references an existing eNodeB
+	// but has an ID beyond the trained network. Local scoping must anchor
+	// on the eNodeB and still work.
+	e, w := trainedEngine(t, Options{Local: true})
+	tmpl := w.Net.Carriers[3]
+	newCar := tmpl
+	newCar.ID = lte.CarrierID(len(w.Net.Carriers))
+	recs, err := e.Recommend(&newCar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(w.Schema.Singular()) {
+		t.Fatalf("got %d recs", len(recs))
+	}
+	// It should mostly match the template's current config (same
+	// attributes, same neighborhood).
+	hits := 0
+	for _, r := range recs {
+		if r.Value == w.Current.Get(tmpl.ID, r.ParamIndex) {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(recs)); acc < 0.8 {
+		t.Errorf("new-carrier accuracy vs template = %v", acc)
+	}
+}

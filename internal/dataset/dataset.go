@@ -1,0 +1,197 @@
+// Package dataset assembles per-parameter learning tables from a network
+// snapshot: the predictor matrix X of carrier attributes and the predictee
+// vector Y of configuration values (Sec 3.1, Fig 6).
+//
+// Singular parameters yield one sample per carrier, with the carrier's
+// attribute vector as predictors. Pair-wise parameters yield one sample
+// per directed X2 relation, with the concatenated carrier+neighbor
+// attribute vector (Sec 4.1).
+package dataset
+
+import (
+	"fmt"
+
+	"auric/internal/geo"
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+	"auric/internal/rng"
+)
+
+// Site identifies the network location a sample was taken from.
+type Site struct {
+	From lte.CarrierID
+	To   lte.CarrierID // -1 for singular parameters
+}
+
+// Table is the learning table of one configuration parameter.
+type Table struct {
+	// Param is the schema index of the parameter.
+	Param int
+	// Spec is the parameter definition.
+	Spec paramspec.Param
+	// ColNames names the predictor columns.
+	ColNames []string
+	// Rows holds one categorical attribute row per sample.
+	Rows [][]string
+	// Labels holds the canonical categorical value label per sample
+	// (paramspec.Param.Format of the value).
+	Labels []string
+	// Values holds the numeric value per sample.
+	Values []float64
+	// Sites locates each sample in the network.
+	Sites []Site
+}
+
+// Len reports the number of samples.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Filter selects the carriers included in a table build; nil includes all.
+type Filter func(lte.CarrierID) bool
+
+// MarketFilter returns a Filter keeping only carriers of market m.
+func MarketFilter(net *lte.Network, m int) Filter {
+	return func(id lte.CarrierID) bool { return net.Carriers[id].Market == m }
+}
+
+// Build assembles the learning table for parameter pi (a schema index of
+// cfg's schema). For pair-wise parameters, x2 supplies the relations; a
+// sample is emitted for every directed relation whose From carrier passes
+// the filter and whose value is configured. For singular parameters x2 may
+// be nil.
+func Build(net *lte.Network, x2 *geo.Graph, cfg *lte.Config, pi int, keep Filter) *Table {
+	schema := cfg.Schema()
+	spec := schema.At(pi)
+	t := &Table{Param: pi, Spec: spec}
+	if spec.Kind == paramspec.Singular {
+		t.ColNames = lte.AttributeNames()
+		for ci := range net.Carriers {
+			id := lte.CarrierID(ci)
+			if keep != nil && !keep(id) {
+				continue
+			}
+			v := cfg.Get(id, pi)
+			t.append(net.Carriers[ci].AttributeVector(), spec, v, Site{From: id, To: -1})
+		}
+		return t
+	}
+	if x2 == nil {
+		panic("dataset: pair-wise parameter requires an X2 graph")
+	}
+	t.ColNames = lte.PairAttributeNames()
+	for ci := range net.Carriers {
+		id := lte.CarrierID(ci)
+		if keep != nil && !keep(id) {
+			continue
+		}
+		c := &net.Carriers[ci]
+		for _, nb := range x2.CarrierNeighbors(id) {
+			v, ok := cfg.GetPair(id, nb, pi)
+			if !ok {
+				continue
+			}
+			t.append(lte.PairAttributeVector(c, &net.Carriers[nb]), spec, v, Site{From: id, To: nb})
+		}
+	}
+	return t
+}
+
+func (t *Table) append(row []string, spec paramspec.Param, v float64, s Site) {
+	t.Rows = append(t.Rows, row)
+	t.Labels = append(t.Labels, spec.Format(v))
+	t.Values = append(t.Values, v)
+	t.Sites = append(t.Sites, s)
+}
+
+// Subset returns a new table containing the rows at the given indices
+// (shared backing rows, fresh slices).
+func (t *Table) Subset(idx []int) *Table {
+	out := &Table{Param: t.Param, Spec: t.Spec, ColNames: t.ColNames}
+	out.Rows = make([][]string, len(idx))
+	out.Labels = make([]string, len(idx))
+	out.Values = make([]float64, len(idx))
+	out.Sites = make([]Site, len(idx))
+	for j, i := range idx {
+		out.Rows[j] = t.Rows[i]
+		out.Labels[j] = t.Labels[i]
+		out.Values[j] = t.Values[i]
+		out.Sites[j] = t.Sites[i]
+	}
+	return out
+}
+
+// Sample returns a random subset of at most n rows (all rows when
+// n >= Len), drawn without replacement using the seeded stream.
+func (t *Table) Sample(n int, seed uint64) *Table {
+	if n >= t.Len() {
+		return t
+	}
+	r := rng.New(seed)
+	perm := r.Perm(t.Len())
+	return t.Subset(perm[:n])
+}
+
+// Folds splits row indices into k cross-validation folds of near-equal
+// size, shuffled deterministically by seed. Every row appears in exactly
+// one fold. It panics for k < 2 or k > Len.
+func (t *Table) Folds(k int, seed uint64) [][]int {
+	n := t.Len()
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("dataset: cannot split %d rows into %d folds", n, k))
+	}
+	r := rng.New(seed)
+	perm := r.Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	return folds
+}
+
+// GroupedFolds splits rows into k folds such that all rows sharing a From
+// carrier land in the same fold. This implements the paper's evaluation
+// stance of treating each carrier as a new carrier (Sec 4.2): when a
+// carrier is under test, none of its own pair-wise relations are available
+// as training evidence. It panics for k < 2 or k > the number of distinct
+// From carriers.
+func (t *Table) GroupedFolds(k int, seed uint64) [][]int {
+	groups := make(map[lte.CarrierID][]int)
+	var order []lte.CarrierID
+	for i, s := range t.Sites {
+		if _, ok := groups[s.From]; !ok {
+			order = append(order, s.From)
+		}
+		groups[s.From] = append(groups[s.From], i)
+	}
+	if k < 2 || k > len(order) {
+		panic(fmt.Sprintf("dataset: cannot split %d carriers into %d folds", len(order), k))
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	folds := make([][]int, k)
+	for i, c := range order {
+		folds[i%k] = append(folds[i%k], groups[c]...)
+	}
+	return folds
+}
+
+// TrainTest returns the complement split for fold f of folds: all indices
+// not in folds[f] as train, folds[f] as test.
+func TrainTest(folds [][]int, f int) (train, test []int) {
+	test = folds[f]
+	for i, fold := range folds {
+		if i != f {
+			train = append(train, fold...)
+		}
+	}
+	return train, test
+}
+
+// DistinctLabels counts the distinct value labels in the table (the
+// paper's per-parameter "variability").
+func (t *Table) DistinctLabels() int {
+	seen := make(map[string]struct{}, 16)
+	for _, l := range t.Labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}

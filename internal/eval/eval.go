@@ -1,0 +1,221 @@
+// Package eval implements the paper's evaluation methodology (Sec 4.2):
+// every carrier is treated in turn as a newly added carrier, the remaining
+// carriers train the dependency models, and a recommendation is scored
+// against the carrier's current configuration. Cross-validation folds are
+// grouped by carrier so a carrier's own pair-wise relations never vote for
+// it.
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"auric/internal/dataset"
+	"auric/internal/geo"
+	"auric/internal/learn"
+	"auric/internal/lte"
+	"auric/internal/netsim"
+)
+
+// CVOptions control cross-validated accuracy measurement.
+type CVOptions struct {
+	// Folds is the fold count; zero means 3.
+	Folds int
+	// Seed drives fold assignment and sampling.
+	Seed uint64
+	// MaxSamples caps the table size before CV (0 = no cap); sampling is
+	// deterministic by Seed.
+	MaxSamples int
+	// Hops is the geographic scope radius for local evaluation; zero
+	// means 1.
+	Hops int
+}
+
+func (o CVOptions) withDefaults() CVOptions {
+	if o.Folds <= 0 {
+		o.Folds = 3
+	}
+	if o.Hops <= 0 {
+		o.Hops = 1
+	}
+	return o
+}
+
+// Result is an accuracy tally.
+type Result struct {
+	Correct, Total int
+}
+
+// Accuracy returns the fraction correct (0 for an empty result).
+func (r Result) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+// Add accumulates another result.
+func (r *Result) Add(o Result) {
+	r.Correct += o.Correct
+	r.Total += o.Total
+}
+
+// Mismatch records one recommendation that disagreed with the current
+// network value.
+type Mismatch struct {
+	Param     int // schema index
+	Site      dataset.Site
+	Predicted string // recommended label
+	Current   string // label currently configured
+}
+
+// CrossValidate measures the accuracy of learner l on table t via grouped
+// k-fold cross-validation. When onMismatch is non-nil it receives every
+// disagreement.
+func CrossValidate(t *dataset.Table, l learn.Learner, opts CVOptions, onMismatch func(Mismatch)) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.MaxSamples > 0 {
+		t = t.Sample(opts.MaxSamples, opts.Seed)
+	}
+	var res Result
+	folds, ok := safeFolds(t, opts)
+	if !ok {
+		return res, nil // too few carriers to validate
+	}
+	for f := range folds {
+		train, test := dataset.TrainTest(folds, f)
+		m, err := l.Fit(t.Subset(train))
+		if err != nil {
+			return res, err
+		}
+		for _, i := range test {
+			p := m.Predict(t.Rows[i])
+			res.Total++
+			if p.Label == t.Labels[i] {
+				res.Correct++
+			} else if onMismatch != nil {
+				onMismatch(Mismatch{Param: t.Param, Site: t.Sites[i], Predicted: p.Label, Current: t.Labels[i]})
+			}
+		}
+	}
+	return res, nil
+}
+
+// CrossValidateLocal measures the accuracy of a geographically scoped
+// learner: models fit exactly as in CrossValidate, but each prediction
+// votes only among training carriers within opts.Hops X2 hops of the test
+// carrier (Sec 3.3/4.2). The learner's models must implement
+// learn.ScopedModel.
+func CrossValidateLocal(t *dataset.Table, l learn.Learner, net *lte.Network, x2 *geo.Graph,
+	opts CVOptions, onMismatch func(Mismatch)) (Result, error) {
+
+	opts = opts.withDefaults()
+	if opts.MaxSamples > 0 {
+		t = t.Sample(opts.MaxSamples, opts.Seed)
+	}
+	var res Result
+	folds, ok := safeFolds(t, opts)
+	if !ok {
+		return res, nil
+	}
+	// Neighborhood sets are reused across folds and parameters; compute
+	// lazily per test carrier.
+	hoodCache := make(map[lte.CarrierID]map[lte.CarrierID]bool)
+	hood := func(c lte.CarrierID) map[lte.CarrierID]bool {
+		if h, ok := hoodCache[c]; ok {
+			return h
+		}
+		h := make(map[lte.CarrierID]bool)
+		for _, id := range x2.CarriersWithinHops(net, c, opts.Hops) {
+			h[id] = true
+		}
+		hoodCache[c] = h
+		return h
+	}
+	for f := range folds {
+		train, test := dataset.TrainTest(folds, f)
+		m, err := l.Fit(t.Subset(train))
+		if err != nil {
+			return res, err
+		}
+		sm, okScoped := m.(learn.ScopedModel)
+		for _, i := range test {
+			var p learn.Prediction
+			if okScoped {
+				h := hood(t.Sites[i].From)
+				self := t.Sites[i].From
+				p = sm.PredictScoped(t.Rows[i], func(s dataset.Site) bool {
+					return s.From != self && h[s.From]
+				})
+			} else {
+				p = m.Predict(t.Rows[i])
+			}
+			res.Total++
+			if p.Label == t.Labels[i] {
+				res.Correct++
+			} else if onMismatch != nil {
+				onMismatch(Mismatch{Param: t.Param, Site: t.Sites[i], Predicted: p.Label, Current: t.Labels[i]})
+			}
+		}
+	}
+	return res, nil
+}
+
+func safeFolds(t *dataset.Table, opts CVOptions) ([][]int, bool) {
+	distinct := make(map[lte.CarrierID]struct{})
+	for _, s := range t.Sites {
+		distinct[s.From] = struct{}{}
+	}
+	if len(distinct) < opts.Folds {
+		return nil, false
+	}
+	return t.GroupedFolds(opts.Folds, opts.Seed), true
+}
+
+// forEachParam runs fn over the given schema parameter indices on a worker
+// pool and returns the first error.
+func forEachParam(params []int, fn func(pi int) error) error {
+	workers := runtime.NumCPU()
+	if workers > len(params) {
+		workers = len(params)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+		work = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range work {
+				if e := fn(pi); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, pi := range params {
+		work <- pi
+	}
+	close(work)
+	wg.Wait()
+	return err
+}
+
+// allParams lists every schema index of the world.
+func allParams(w *netsim.World) []int {
+	out := make([]int, w.Schema.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package eval
+
+import (
+	"testing"
+
+	"auric/internal/dataset"
+	"auric/internal/learn"
+	"auric/internal/learn/cf"
+	"auric/internal/learn/tree"
+	"auric/internal/lte"
+	"auric/internal/netsim"
+	"auric/internal/stats"
+)
+
+func tinyWorld() *netsim.World {
+	return netsim.Generate(netsim.Options{Seed: 21, Markets: 4, ENodeBsPerMarket: 16})
+}
+
+func TestResultAccuracy(t *testing.T) {
+	r := Result{Correct: 3, Total: 4}
+	if r.Accuracy() != 0.75 {
+		t.Errorf("Accuracy = %v", r.Accuracy())
+	}
+	var z Result
+	if z.Accuracy() != 0 {
+		t.Error("empty result accuracy should be 0")
+	}
+	z.Add(r)
+	if z.Correct != 3 || z.Total != 4 {
+		t.Error("Add failed")
+	}
+}
+
+func TestCrossValidateReasonableAccuracy(t *testing.T) {
+	w := tinyWorld()
+	pi := w.Schema.IndexOf("capacityThreshold")
+	tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+	res, err := CrossValidate(tb, cf.New(), CVOptions{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != tb.Len() {
+		t.Errorf("CV scored %d of %d rows", res.Total, tb.Len())
+	}
+	if acc := res.Accuracy(); acc < 0.7 {
+		t.Errorf("CF accuracy on capacityThreshold = %v, implausibly low", acc)
+	}
+}
+
+func TestCrossValidateCollectsMismatches(t *testing.T) {
+	w := tinyWorld()
+	pi := w.Schema.IndexOf("sFreqPrio")
+	tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+	var ms []Mismatch
+	res, err := CrossValidate(tb, tree.New(), CVOptions{Seed: 1}, func(m Mismatch) { ms = append(ms, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != res.Total-res.Correct {
+		t.Errorf("collected %d mismatches, expected %d", len(ms), res.Total-res.Correct)
+	}
+	for _, m := range ms {
+		if m.Predicted == m.Current {
+			t.Fatal("mismatch with equal labels")
+		}
+		if m.Param != pi {
+			t.Fatal("mismatch carries wrong parameter")
+		}
+	}
+}
+
+func TestCrossValidateLocalBeatsOrMatchesGlobal(t *testing.T) {
+	// Aggregated over several tunable parameters, the local learner should
+	// not lose to the global one (Sec 4.3.2 finds a small consistent win).
+	w := tinyWorld()
+	var g, l Result
+	for _, name := range []string{"sFreqPrio", "capacityThreshold", "inactivityTimer", "lbThreshold"} {
+		pi := w.Schema.IndexOf(name)
+		tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+		gr, err := CrossValidate(tb, cf.New(), CVOptions{Seed: 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := CrossValidateLocal(tb, cf.New(), w.Net, w.X2, CVOptions{Seed: 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Add(gr)
+		l.Add(lr)
+	}
+	if l.Accuracy()+0.02 < g.Accuracy() {
+		t.Errorf("local %.4f materially below global %.4f", l.Accuracy(), g.Accuracy())
+	}
+}
+
+func TestFig2SortedAndComplete(t *testing.T) {
+	w := tinyWorld()
+	rows := Fig2(w)
+	if len(rows) != 65 {
+		t.Fatalf("Fig2 rows = %d, want 65", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Distinct > rows[i-1].Distinct {
+			t.Fatal("Fig2 not sorted by descending variability")
+		}
+	}
+	if rows[0].Distinct <= rows[len(rows)-1].Distinct {
+		t.Error("no variability spread across parameters")
+	}
+}
+
+func TestFig3PerMarket(t *testing.T) {
+	w := tinyWorld()
+	rows := Fig3(w)
+	if len(rows) != 65 {
+		t.Fatalf("Fig3 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.PerMarket) != len(w.Net.Markets) {
+			t.Fatal("market column count mismatch")
+		}
+	}
+}
+
+func TestFig4SkewClasses(t *testing.T) {
+	w := tinyWorld()
+	rows, byClass := Fig4(w)
+	if len(rows) != 65 {
+		t.Fatalf("Fig4 rows = %d", len(rows))
+	}
+	total := 0
+	for _, n := range byClass {
+		total += n
+	}
+	if total != 65 {
+		t.Errorf("class counts sum to %d", total)
+	}
+	// The generator is designed to produce substantial skew (the paper
+	// finds 45 of 65 at least moderately skewed).
+	if byClass[stats.HighlySkewed]+byClass[stats.ModeratelySkewed] < 20 {
+		t.Errorf("only %d parameters skewed; generator lost the paper's structure",
+			byClass[stats.HighlySkewed]+byClass[stats.ModeratelySkewed])
+	}
+}
+
+func TestPickTimezoneMarkets(t *testing.T) {
+	w := tinyWorld()
+	ms := PickTimezoneMarkets(w)
+	if len(ms) != 4 {
+		t.Fatalf("picked %d markets, want 4", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		tz := w.Net.Markets[m].Timezone
+		if seen[tz] {
+			t.Fatalf("timezone %s picked twice", tz)
+		}
+		seen[tz] = true
+	}
+}
+
+func TestTable3Counts(t *testing.T) {
+	w := tinyWorld()
+	rows := Table3(w, []int{0, 1})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Carriers == 0 || r.ENodeBs == 0 {
+			t.Error("empty market in Table 3")
+		}
+		if r.ParamValues <= r.Carriers*39 {
+			t.Error("ParamValues does not include pair-wise samples")
+		}
+	}
+}
+
+func TestLabelMismatches(t *testing.T) {
+	w := tinyWorld()
+	// Find a stale-trial site and build a synthetic mismatch where the
+	// prediction equals the optimum -> good recommendation.
+	var found *Mismatch
+	for _, pi := range w.Schema.Singular() {
+		for ci := range w.Net.Carriers {
+			id := lte.CarrierID(ci)
+			if w.CauseOf(id, pi) == netsim.CauseStaleTrial {
+				spec := w.Schema.At(pi)
+				found = &Mismatch{
+					Param:     pi,
+					Site:      dataset.Site{From: id, To: -1},
+					Predicted: spec.Format(w.Optimal.Get(id, pi)),
+					Current:   spec.Format(w.Current.Get(id, pi)),
+				}
+				break
+			}
+		}
+		if found != nil {
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("no stale trial in world")
+	}
+	labels := LabelMismatches(w, []Mismatch{*found})
+	if labels.GoodRecommendation != 1 || labels.Total != 1 {
+		t.Errorf("labels = %+v, want 1 good recommendation", labels)
+	}
+	// An unexplained mismatch labels inconclusive.
+	plain := *found
+	plain.Site.From = 0
+	plain.Predicted = "nonsense"
+	if w.CauseOf(0, plain.Param) == netsim.CauseNormal {
+		labels = LabelMismatches(w, []Mismatch{plain})
+		if labels.Inconclusive != 1 {
+			t.Errorf("plain mismatch labeled %+v", labels)
+		}
+	}
+}
+
+func TestFig11TopParams(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 22, Markets: 3, ENodeBsPerMarket: 14})
+	rows, err := Fig11(w, 2, CVOptions{Seed: 1, MaxSamples: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	variability := Fig2(w)
+	if rows[0].Param != variability[0].Param {
+		t.Errorf("Fig11 did not pick the highest-variability parameter")
+	}
+	for _, r := range rows {
+		if len(r.PerMarket) != 3 || len(r.DistinctPer) != 3 {
+			t.Fatal("per-market vectors wrong length")
+		}
+	}
+}
+
+func TestDependencyRecovery(t *testing.T) {
+	w := tinyWorld()
+	res, err := DependencyRecovery(w, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params != 65 {
+		t.Fatalf("evaluated %d parameters", res.Params)
+	}
+	// The generator's additive rules make every true dependency marginally
+	// visible; chi-square should recover nearly all of them.
+	if res.Recall() < 0.9 {
+		t.Errorf("dependency recall = %v, want >= 0.9", res.Recall())
+	}
+	// And rank most of them in the upper half of the selected set.
+	if res.TopWeighted() < 0.6 {
+		t.Errorf("top-weighted share = %v, want >= 0.6", res.TopWeighted())
+	}
+}
+
+func TestGlobalLearnerComparisonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison skipped in -short")
+	}
+	w := netsim.Generate(netsim.Options{Seed: 23, Markets: 2, ENodeBsPerMarket: 12})
+	specs := []LearnerSpec{
+		{Name: "collaborative-filtering", Build: func() learn.Learner { return cf.New() }},
+		{Name: "decision-tree", Build: func() learn.Learner { return tree.New() }},
+	}
+	results, fig10, err := GlobalLearnerComparison(w, []int{0, 1}, specs, CVOptions{Seed: 1, MaxSamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Overall.Total == 0 || r.Overall.Accuracy() < 0.5 {
+			t.Errorf("%s overall = %+v", r.Learner, r.Overall)
+		}
+		if len(r.PerMarket) != 2 {
+			t.Errorf("%s covers %d markets", r.Learner, len(r.PerMarket))
+		}
+	}
+	for m, rows := range fig10 {
+		if len(rows) != 65 {
+			t.Errorf("market %d fig10 rows = %d", m, len(rows))
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Distinct > rows[i-1].Distinct {
+				t.Fatalf("market %d fig10 not sorted", m)
+			}
+		}
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 skipped in -short")
+	}
+	w := netsim.Generate(netsim.Options{Seed: 24, Markets: 2, ENodeBsPerMarket: 12})
+	labels, local, err := Fig12(w, CVOptions{Seed: 1, MaxSamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Total == 0 {
+		t.Fatal("no predictions scored")
+	}
+	if labels.Total != labels.UpdateLearner+labels.GoodRecommendation+labels.Inconclusive {
+		t.Error("label classes do not sum to total")
+	}
+	if labels.Total != local.Total-local.Correct {
+		t.Errorf("labeled %d mismatches, expected %d", labels.Total, local.Total-local.Correct)
+	}
+	// Inconclusive should dominate, as in the paper.
+	if labels.Inconclusive <= labels.GoodRecommendation {
+		t.Errorf("labels %+v: inconclusive should dominate", labels)
+	}
+}

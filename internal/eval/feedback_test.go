@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"testing"
+
+	"auric/internal/dataset"
+	"auric/internal/kpi"
+	"auric/internal/learn/cf"
+	"auric/internal/netsim"
+)
+
+// TestFeedbackWeightedVoting demonstrates the Sec 6 loop: weighting CF
+// votes by each carrier's measured service performance suppresses
+// stale-trial leftovers (their KPIs are degraded) and moves
+// recommendations toward the engineer-intended optimum.
+func TestFeedbackWeightedVoting(t *testing.T) {
+	truth := netsim.DefaultTruth()
+	truth.StaleTrialRate = 0.08 // exaggerate the leftovers for signal
+	w := netsim.Generate(netsim.Options{Seed: 61, Markets: 2, ENodeBsPerMarket: 20, Truth: truth})
+
+	sim := kpi.NewSimulator(w, 1)
+	sim.NoiseStd = 0
+
+	var plainHits, weightedHits, total int
+	for _, name := range []string{"dlSchedulerQuantum", "capacityThreshold", "initialCqi", "qRxLevMin"} {
+		pi := w.Schema.IndexOf(name)
+		spec := w.Schema.At(pi)
+		// Weight each training carrier by the quality of the KPI component
+		// this parameter's category drives: carriers with degraded
+		// category KPIs (stale leftovers) lose voting power.
+		weights := make(map[int32]float64, len(w.Net.Carriers))
+		for ci := range w.Net.Carriers {
+			q := sim.CategoryQuality(w.Net.Carriers[ci].ID, w.Current, spec.Category)
+			weights[int32(ci)] = q * q
+		}
+		weight := func(s dataset.Site) float64 { return weights[int32(s.From)] }
+		tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+		folds := tb.GroupedFolds(3, 1)
+		for f := range folds {
+			train, test := dataset.TrainTest(folds, f)
+			m, err := cf.New().Fit(tb.Subset(train))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := m.(*cf.Model)
+			for _, i := range test {
+				// Score against the engineer-intended optimum: the point
+				// of feedback is to stop recommending leftovers.
+				optimal := spec.Format(w.Optimal.Get(tb.Sites[i].From, pi))
+				total++
+				if model.Predict(tb.Rows[i]).Label == optimal {
+					plainHits++
+				}
+				if model.PredictWeighted(tb.Rows[i], nil, weight).Label == optimal {
+					weightedHits++
+				}
+			}
+		}
+	}
+	plain := float64(plainHits) / float64(total)
+	weighted := float64(weightedHits) / float64(total)
+	t.Logf("accuracy vs optimal: plain=%.4f feedback-weighted=%.4f (n=%d)", plain, weighted, total)
+	if weighted < plain {
+		t.Errorf("feedback weighting reduced accuracy vs optimal: %.4f -> %.4f", plain, weighted)
+	}
+}
+
+// TestPredictWeightedSemantics covers the weighting mechanics directly.
+func TestPredictWeightedSemantics(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 62, Markets: 1, ENodeBsPerMarket: 10})
+	pi := w.Schema.IndexOf("capacityThreshold")
+	tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+	m, err := cf.New().Fit(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := m.(*cf.Model)
+
+	// Uniform weights reproduce the unweighted prediction.
+	uniform := func(dataset.Site) float64 { return 1 }
+	for i := 0; i < 40; i++ {
+		a := model.Predict(tb.Rows[i]).Label
+		b := model.PredictWeighted(tb.Rows[i], nil, uniform).Label
+		if a != b {
+			t.Fatalf("uniform weights changed prediction %d: %q vs %q", i, a, b)
+		}
+	}
+	// All-zero weights exclude everything and fall through to the global
+	// default without panicking.
+	zero := func(dataset.Site) float64 { return 0 }
+	if p := model.PredictWeighted(tb.Rows[0], nil, zero); p.Label == "" {
+		t.Error("all-zero weights produced an empty prediction")
+	}
+}

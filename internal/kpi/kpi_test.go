@@ -1,0 +1,123 @@
+package kpi
+
+import (
+	"testing"
+
+	"auric/internal/netsim"
+)
+
+func world() *netsim.World {
+	return netsim.Generate(netsim.Options{Seed: 41, Markets: 1, ENodeBsPerMarket: 10})
+}
+
+func TestOptimalConfigScoresNearBaseline(t *testing.T) {
+	w := world()
+	sim := NewSimulator(w, 1)
+	sim.NoiseStd = 0 // deterministic for the assertion
+	r := sim.Measure(0, w.Optimal)
+	if got := r.Get(DownlinkThroughput); got != baselines[DownlinkThroughput] {
+		t.Errorf("optimal throughput = %v, want baseline %v", got, baselines[DownlinkThroughput])
+	}
+	if got := r.Get(CallDropRate); got != baselines[CallDropRate] {
+		t.Errorf("optimal drop rate = %v", got)
+	}
+	if s := Score(r); s < 0.99 {
+		t.Errorf("optimal score = %v, want ~1", s)
+	}
+}
+
+func TestDeviationDegradesKPIs(t *testing.T) {
+	w := world()
+	sim := NewSimulator(w, 1)
+	sim.NoiseStd = 0
+	// Break several scheduling / link-adaptation parameters badly.
+	bad := w.Optimal.Clone()
+	for _, name := range []string{"dlSchedulerQuantum", "ulSchedulerQuantum", "initialCqi", "dlTargetBler"} {
+		pi := w.Schema.IndexOf(name)
+		p := w.Schema.At(pi)
+		bad.Set(3, pi, p.Max) // far from any mid-band optimum
+	}
+	good := sim.Measure(3, w.Optimal)
+	broken := sim.Measure(3, bad)
+	if broken.Get(DownlinkThroughput) >= good.Get(DownlinkThroughput) {
+		t.Errorf("throughput did not degrade: %v -> %v",
+			good.Get(DownlinkThroughput), broken.Get(DownlinkThroughput))
+	}
+	if Score(broken) >= Score(good) {
+		t.Errorf("score did not degrade: %v -> %v", Score(good), Score(broken))
+	}
+	// Scheduling faults must not change drop rate (different category).
+	if broken.Get(CallDropRate) != good.Get(CallDropRate) {
+		t.Errorf("drop rate moved for scheduling faults: %v -> %v",
+			good.Get(CallDropRate), broken.Get(CallDropRate))
+	}
+}
+
+func TestMobilityFaultsHitHandovers(t *testing.T) {
+	w := world()
+	sim := NewSimulator(w, 1)
+	sim.NoiseStd = 0
+	bad := w.Optimal.Clone()
+	for _, name := range []string{"cellReselectionPriority", "threshServingLow", "sIntraSearch"} {
+		pi := w.Schema.IndexOf(name)
+		bad.Set(2, pi, w.Schema.At(pi).Max)
+	}
+	good := sim.Measure(2, w.Optimal)
+	broken := sim.Measure(2, bad)
+	if broken.Get(HandoverFailureRate) <= good.Get(HandoverFailureRate) {
+		t.Error("handover failure rate did not rise for layer-management faults")
+	}
+}
+
+func TestMeasurementNoiseIsDeterministicPerSeed(t *testing.T) {
+	w := world()
+	a := NewSimulator(w, 9)
+	b := NewSimulator(w, 9)
+	ra, rb := a.Measure(1, w.Current), b.Measure(1, w.Current)
+	for m := Metric(0); m < numMetrics; m++ {
+		if ra.Get(m) != rb.Get(m) {
+			t.Fatalf("metric %v differs across identical simulators", m)
+		}
+	}
+	c := NewSimulator(w, 10)
+	rc := c.Measure(1, w.Current)
+	same := true
+	for m := Metric(0); m < numMetrics; m++ {
+		if ra.Get(m) != rc.Get(m) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	var r Report
+	r.Values[DownlinkThroughput] = -5
+	r.Values[CallDropRate] = 100
+	r.Values[HandoverFailureRate] = 100
+	r.Values[AccessibilityRate] = 0
+	if s := Score(r); s < 0 || s > 0.01 {
+		t.Errorf("worst-case score = %v", s)
+	}
+	r.Values[DownlinkThroughput] = 1000
+	r.Values[CallDropRate] = 0
+	r.Values[HandoverFailureRate] = 0
+	r.Values[AccessibilityRate] = 100
+	if s := Score(r); s > 1 {
+		t.Errorf("best-case score = %v exceeds 1", s)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if DownlinkThroughput.String() != "downlink-throughput-mbps" {
+		t.Error("metric name mismatch")
+	}
+	if Metric(99).String() == "downlink-throughput-mbps" {
+		t.Error("invalid metric name collision")
+	}
+	if NumMetrics() != 4 {
+		t.Errorf("NumMetrics = %d", NumMetrics())
+	}
+}

@@ -1,0 +1,479 @@
+// Package cf implements Auric's collaborative-filtering learner (Sec 3.2),
+// the paper's core contribution: chi-square tests of independence select
+// the carrier attributes each configuration parameter actually depends on,
+// similarity is exact matching on those dependent attributes, and the
+// recommendation is the value supported by at least 75% of the matching
+// carriers.
+//
+// The paper leaves two situations unspecified, which this implementation
+// resolves as follows (every choice is visible in the prediction's
+// explanation, and DESIGN.md discusses the deviations):
+//
+//   - Sparse evidence: when the carriers matching the full dependent set
+//     are too few to vote (fewer than MinMatches and neither unanimous nor
+//     at the support threshold), the least informative dependent attribute
+//     is relaxed and the vote retried. Relaxation order is per query:
+//     attributes whose observed value is a rare, strongly-associated
+//     "profile" value (FirstNet, NB-IoT, ...) are retained longest, and
+//     the rest rank by Cramér's V (chi-square association normalized
+//     across attribute cardinalities).
+//   - Local scoping (Sec 3.3): the 1-hop X2 neighborhood vote is used
+//     only when it is decisive at a relaxation level at least as specific
+//     as the network-wide vote, so locality sharpens the global answer
+//     and never substitutes vaguer evidence for it.
+package cf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"auric/internal/dataset"
+	"auric/internal/learn"
+	"math"
+
+	"auric/internal/stats"
+)
+
+func init() { learn.Register("collaborative-filtering", func() learn.Learner { return New() }) }
+
+// Options are the collaborative-filtering hyperparameters.
+type Options struct {
+	// Alpha is the chi-square significance level; zero means the paper's
+	// 0.01.
+	Alpha float64
+	// Support is the voting-support threshold; zero means the paper's
+	// 0.75.
+	Support float64
+	// MinMatches is the minimum number of matching carriers required for
+	// a vote to count as evidence: with fewer matches the weakest
+	// dependent attribute is relaxed and the vote retried, so that the
+	// recommendation never rests on one or two (possibly noisy) carriers.
+	// Zero means 5.
+	MinMatches int
+}
+
+// Learner fits collaborative-filtering models.
+type Learner struct {
+	Opts Options
+}
+
+// New returns a CF learner with the paper's settings (p=0.01, 75% support).
+func New() *Learner { return &Learner{} }
+
+// Name implements learn.Learner.
+func (l *Learner) Name() string { return "collaborative-filtering" }
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.01
+	}
+	if o.Support == 0 {
+		o.Support = 0.75
+	}
+	if o.MinMatches == 0 {
+		o.MinMatches = 5
+	}
+	return o
+}
+
+// Fit implements learn.Learner: it runs the chi-square test of Eq. (3)
+// between every attribute column and the parameter values, keeps the
+// dependent columns ordered by statistic (strongest first), and indexes
+// the training rows by their dependent-attribute key.
+func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
+	if t.Len() == 0 {
+		return nil, learn.ErrEmptyTable
+	}
+	opts := l.Opts.withDefaults()
+
+	type depCol struct {
+		col  int
+		stat float64 // Cramér's V: association strength normalized for
+		// table size, comparable across attribute cardinalities
+	}
+	var deps []depCol
+	for c := range t.ColNames {
+		ct := stats.NewContingency()
+		for i, row := range t.Rows {
+			ct.Add(row[c], t.Labels[i])
+		}
+		stat, df := ct.ChiSquare()
+		if df == 0 {
+			continue
+		}
+		if stat > stats.ChiSquareCritical(df, opts.Alpha) {
+			deps = append(deps, depCol{c, cramersV(stat, ct)})
+		}
+	}
+	// Strongest association first; relaxation drops from the tail. The
+	// significance test (above) follows the paper's raw chi-square
+	// criterion; the *ordering* uses Cramér's V so that high-cardinality
+	// attributes (e.g. tracking area) rank by how much they actually
+	// explain, not by their degree-of-freedom count.
+	for i := 1; i < len(deps); i++ {
+		for j := i; j > 0 && deps[j].stat > deps[j-1].stat; j-- {
+			deps[j], deps[j-1] = deps[j-1], deps[j]
+		}
+	}
+	m := &Model{t: t, opts: opts}
+	for _, d := range deps {
+		m.deps = append(m.deps, d.col)
+		m.depStats = append(m.depStats, d.stat)
+	}
+	m.index = make(map[string][]int32, t.Len()/2)
+	for i, row := range t.Rows {
+		k := key(row, m.deps)
+		m.index[k] = append(m.index[k], int32(i))
+	}
+	m.globalLabel, m.globalShare = learn.MajorityLabel(t.Labels)
+	m.fitValueShares()
+	return m, nil
+}
+
+// fitValueShares records, for every dependent column, the population share
+// of each category. Relaxation uses these to recognize rare attribute
+// values (FirstNet carriers, NB-IoT, border cells): a carrier holding a
+// rare value is configured by that value's own profile, so the attribute
+// must be among the last to be relaxed away — dropping it would let the
+// majority population outvote the rare one (the Sec 3.2 failure mode of
+// classic classifiers that Auric exists to avoid).
+func (m *Model) fitValueShares() {
+	m.valueShare = make([]map[string]float64, len(m.t.ColNames))
+	m.valuePin = make([]map[string]float64, len(m.t.ColNames))
+	n := float64(m.t.Len())
+	for _, d := range m.deps {
+		counts := make(map[string]map[string]int)
+		totals := make(map[string]int)
+		for i, row := range m.t.Rows {
+			v := row[d]
+			c := counts[v]
+			if c == nil {
+				c = make(map[string]int, 4)
+				counts[v] = c
+			}
+			c[m.t.Labels[i]]++
+			totals[v]++
+		}
+		shares := make(map[string]float64, len(totals))
+		pins := make(map[string]float64, len(totals))
+		for v, total := range totals {
+			shares[v] = float64(total) / n
+			best := 0
+			for _, c := range counts[v] {
+				if c > best {
+					best = c
+				}
+			}
+			pins[v] = float64(best) / float64(total)
+		}
+		m.valueShare[d] = shares
+		m.valuePin[d] = pins
+	}
+}
+
+// rareValueShare is the population share below which an observed attribute
+// value counts as rare for relaxation ordering.
+const rareValueShare = 0.15
+
+// queryDeps orders the dependent columns for one query row for relaxation:
+// columns whose observed value is rare are retained longest, and within
+// each group columns rank by association strength (Cramér's V). The
+// ladder drops from the tail, so the weakest common-valued attribute goes
+// first and the strongest rare-valued one goes last.
+func (m *Model) queryDeps(row []string) []int {
+	type scored struct {
+		col  int
+		rare bool
+		v    float64
+	}
+	out := make([]scored, len(m.deps))
+	for i, d := range m.deps {
+		share, seen := m.valueShare[d][row[d]]
+		// "Profile" values are both rare in the population and strongly
+		// associated with one parameter value — the signature of special
+		// carriers (FirstNet, NB-IoT) with their own settings.
+		profile := seen && share < rareValueShare &&
+			m.valuePin[d][row[d]] >= m.opts.Support
+		out[i] = scored{col: d, rare: profile, v: m.depStats[i]}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].rare != out[b].rare {
+			return out[a].rare
+		}
+		return out[a].v > out[b].v
+	})
+	deps := make([]int, len(out))
+	for i, s := range out {
+		deps[i] = s.col
+	}
+	return deps
+}
+
+// cramersV normalizes a chi-square statistic into Cramér's V in [0, 1].
+func cramersV(stat float64, ct *stats.Contingency) float64 {
+	n := float64(ct.Total())
+	k := len(ct.Rows())
+	if c := len(ct.Cols()); c < k {
+		k = c
+	}
+	if n == 0 || k < 2 {
+		return 0
+	}
+	return math.Sqrt(stat / (n * float64(k-1)))
+}
+
+func key(row []string, deps []int) string {
+	var sb strings.Builder
+	for _, d := range deps {
+		sb.WriteString(row[d])
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+// Model is a fitted collaborative-filtering model.
+type Model struct {
+	t        *dataset.Table
+	opts     Options
+	deps     []int     // dependent columns, strongest first
+	depStats []float64 // matching Cramér's V per dependent column
+	index    map[string][]int32
+	// valueShare[col][category] is the category's population share;
+	// valuePin[col][category] the top-label share among rows holding it
+	// (both drive query-time relaxation ordering).
+	valueShare []map[string]float64
+	valuePin   []map[string]float64
+
+	globalLabel string
+	globalShare float64
+}
+
+// DependentColumns returns the dependent attribute column indices,
+// strongest association first.
+func (m *Model) DependentColumns() []int {
+	out := make([]int, len(m.deps))
+	copy(out, m.deps)
+	return out
+}
+
+// DependentColumnNames returns the names of the dependent attributes.
+func (m *Model) DependentColumnNames() []string {
+	out := make([]string, len(m.deps))
+	for i, d := range m.deps {
+		out[i] = m.t.ColNames[d]
+	}
+	return out
+}
+
+// Predict implements learn.Model.
+func (m *Model) Predict(row []string) learn.Prediction {
+	return m.PredictScoped(row, nil)
+}
+
+// PredictScoped implements learn.ScopedModel: the voting population is
+// restricted to training samples whose site is allowed — the paper's
+// local learner uses the 1-hop X2 neighborhood (Sec 3.3).
+//
+// Local evidence is used only when it is decisive at a relaxation level at
+// least as specific as the one the network-wide vote would settle on:
+// locality sharpens the global answer where nearby matching carriers
+// exist, and never substitutes a vaguer local pool for more specific
+// global evidence.
+func (m *Model) PredictScoped(row []string, allowed func(dataset.Site) bool) learn.Prediction {
+	return m.PredictWeighted(row, allowed, nil)
+}
+
+// PredictWeighted implements learn.WeightedModel: votes are weighted by
+// weight(site) — the Sec 6 service-performance feedback loop ("provide
+// higher weights to configuration changes that have improved service
+// performance in the past"). Weights <= 0 exclude a site; a nil weight
+// counts every site equally.
+func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) learn.Prediction {
+	qdeps := m.queryDeps(row)
+	globalP, globalLevel, globalDecisive := m.ladder(row, qdeps, nil, weight)
+	if allowed != nil {
+		localP, localLevel, localDecisive := m.ladder(row, qdeps, allowed, weight)
+		if localDecisive && (!globalDecisive || localLevel <= globalLevel) {
+			return localP
+		}
+	}
+	if globalP.Label != "" {
+		return globalP
+	}
+	// Empty training table population for every dependency subset (not
+	// reachable with a non-empty table, kept as a safe default).
+	return learn.Prediction{
+		Label:       m.globalLabel,
+		Confidence:  m.globalShare * 0.25,
+		Explanation: "no matching carriers; falling back to the global majority value",
+	}
+}
+
+// ladder walks the relaxation ladder: exact matching on the full
+// dependent set, then dropping the least informative dependent attribute
+// (per the query's observed values, qdeps order) per level until a
+// decisive pool appears. It returns the first decisive vote and its level,
+// or (when no level is decisive) the most specific thin vote.
+func (m *Model) ladder(row []string, qdeps []int, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) (learn.Prediction, int, bool) {
+	var (
+		fallback      learn.Prediction
+		fallbackLevel = -1
+	)
+	for drop := 0; drop <= len(qdeps); drop++ {
+		deps := qdeps[:len(qdeps)-drop]
+		p, decisive := m.vote(row, deps, drop == 0, allowed, weight, drop)
+		if p.Label == "" {
+			continue // no matches at this relaxation level
+		}
+		if decisive {
+			return p, drop, true
+		}
+		if fallbackLevel < 0 {
+			fallback, fallbackLevel = p, drop
+		}
+	}
+	return fallback, fallbackLevel, false
+}
+
+// vote tallies the matching carriers for row on deps and reports whether
+// the pool is decisive: big enough (MinMatches), or small but agreeing at
+// the support threshold with at least two carriers — the
+// rare-combination case of Sec 3.2 (few carriers, one distinctive value).
+func (m *Model) vote(row []string, deps []int, full bool, allowed func(dataset.Site) bool, weight func(dataset.Site) float64, drop int) (learn.Prediction, bool) {
+	matches := m.matches(row, deps, full, allowed)
+	if len(matches) == 0 {
+		return learn.Prediction{}, false
+	}
+	var label string
+	var share float64
+	if weight == nil {
+		labels := make([]string, len(matches))
+		for i, idx := range matches {
+			labels[i] = m.t.Labels[idx]
+		}
+		label, share = learn.MajorityLabel(labels)
+	} else {
+		label, share = m.weightedMajority(matches, weight)
+		if label == "" {
+			return learn.Prediction{}, false // every match weighted out
+		}
+	}
+	// Confidence is the voting support (the paper's 75% rule applies to
+	// it); a single witness is discounted since there is no vote at all.
+	conf := share
+	if len(matches) == 1 {
+		conf *= 0.5
+	}
+	p := learn.Prediction{
+		Label:       label,
+		Confidence:  conf,
+		Explanation: m.explain(row, deps, label, share, len(matches), drop),
+	}
+	if allowed != nil && p.Explanation != "" {
+		p.Explanation = "within the X2 neighborhood: " + p.Explanation
+	}
+	decisive := len(matches) >= m.opts.MinMatches ||
+		(len(matches) >= 2 && share >= m.opts.Support) ||
+		// A unanimous pool on the full dependent set is the most similar
+		// evidence that exists — even a single matching carrier beats a
+		// bigger pool of less similar ones (the copy/paste intuition of
+		// Sec 1).
+		(drop == 0 && share == 1)
+	return p, decisive
+}
+
+// Supported reports whether a prediction reached the voting-support
+// threshold on the full dependent set (the strict rule of Sec 3.2).
+func (m *Model) Supported(row []string) (learn.Prediction, bool) {
+	p := m.Predict(row)
+	return p, p.Confidence >= m.opts.Support
+}
+
+// weightedMajority tallies match labels with per-site weights and returns
+// the heaviest label and its weight share. Ties break to the
+// lexicographically smallest label, matching learn.MajorityLabel.
+func (m *Model) weightedMajority(matches []int32, weight func(dataset.Site) float64) (string, float64) {
+	tally := make(map[string]float64, 8)
+	total := 0.0
+	for _, idx := range matches {
+		w := weight(m.t.Sites[idx])
+		if w <= 0 {
+			continue
+		}
+		tally[m.t.Labels[idx]] += w
+		total += w
+	}
+	if total == 0 {
+		return "", 0
+	}
+	best, bestW := "", -1.0
+	for l, w := range tally {
+		if w > bestW || (w == bestW && l < best) {
+			best, bestW = l, w
+		}
+	}
+	return best, bestW / total
+}
+
+// matches returns the training rows matching `row` on deps. When full is
+// true the precomputed index is used; relaxed sets scan linearly (they are
+// rare). allowed, when non-nil, filters by site.
+func (m *Model) matches(row []string, deps []int, full bool, allowed func(dataset.Site) bool) []int32 {
+	var cands []int32
+	if full {
+		// The full dependent set is order-insensitive; the index is keyed
+		// on the canonical m.deps order.
+		cands = m.index[key(row, m.deps)]
+	} else {
+		for i := range m.t.Rows {
+			ok := true
+			for _, d := range deps {
+				if m.t.Rows[i][d] != row[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cands = append(cands, int32(i))
+			}
+		}
+	}
+	if allowed == nil {
+		return cands
+	}
+	out := cands[:0:0]
+	for _, i := range cands {
+		if allowed(m.t.Sites[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *Model) explain(row []string, deps []int, label string, share float64, n, drop int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.0f%% of %d carriers matching on ", share*100, n)
+	if len(deps) == 0 {
+		sb.WriteString("(no dependent attributes)")
+	}
+	const maxShown = 4 // strongest associations first; elide the tail
+	for i, d := range deps {
+		if i == maxShown {
+			fmt.Fprintf(&sb, " ∧ … (+%d more)", len(deps)-maxShown)
+			break
+		}
+		if i > 0 {
+			sb.WriteString(" ∧ ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", m.t.ColNames[d], row[d])
+	}
+	fmt.Fprintf(&sb, " hold %s", label)
+	if drop > 0 {
+		fmt.Fprintf(&sb, " (after relaxing %d weakest dependent attribute(s))", drop)
+	}
+	if share < m.opts.Support {
+		fmt.Fprintf(&sb, " — below the %.0f%% support threshold", m.opts.Support*100)
+	}
+	return sb.String()
+}

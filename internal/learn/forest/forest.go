@@ -1,0 +1,96 @@
+// Package forest implements the random-forest learner of Sec 4.2: 100
+// trees grown to purity on bootstrap samples with Gini splits, predictions
+// by majority vote across trees. Per-node feature subsampling (sqrt of the
+// column count) decorrelates the trees, the standard ensemble control for
+// over-fitting the paper cites.
+package forest
+
+import (
+	"fmt"
+
+	"auric/internal/dataset"
+	"auric/internal/learn"
+	"auric/internal/learn/tree"
+	"auric/internal/rng"
+)
+
+func init() { learn.Register("random-forest", func() learn.Learner { return New() }) }
+
+// Options are the forest hyperparameters.
+type Options struct {
+	// Trees is the ensemble size; zero means 100 (the paper's setting).
+	Trees int
+	// ColsPerSplit overrides the per-node feature sample with raw
+	// attribute columns. Zero uses the scikit-learn-equivalent default:
+	// ceil(sqrt(W)) one-hot (column, category) indicators per node, which
+	// is how the paper's implementation sees one-hot encoded data.
+	ColsPerSplit int
+	// Seed drives bootstrap and feature sampling.
+	Seed uint64
+}
+
+// Learner fits random forests.
+type Learner struct {
+	Opts Options
+}
+
+// New returns a forest learner with the paper's defaults.
+func New() *Learner { return &Learner{} }
+
+// Name implements learn.Learner.
+func (l *Learner) Name() string { return "random-forest" }
+
+// Fit implements learn.Learner.
+func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
+	if t.Len() == 0 {
+		return nil, learn.ErrEmptyTable
+	}
+	opts := l.Opts
+	if opts.Trees <= 0 {
+		opts.Trees = 100
+	}
+	r := rng.New(opts.Seed ^ 0xf0fe57)
+	trees := make([]*tree.Tree, 0, opts.Trees)
+	n := t.Len()
+	for k := 0; k < opts.Trees; k++ {
+		boot := make([]int, n)
+		for i := range boot {
+			boot[i] = r.Intn(n)
+		}
+		tl := &tree.Learner{Opts: tree.Options{
+			ColsPerSplit:        opts.ColsPerSplit,
+			OneHotFeatureSample: opts.ColsPerSplit <= 0,
+			Seed:                r.Uint64(),
+		}}
+		tr, err := tl.FitIndices(t, boot)
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, tr)
+	}
+	return &Model{trees: trees}, nil
+}
+
+// Model is a fitted random forest.
+type Model struct {
+	trees []*tree.Tree
+}
+
+// NumTrees reports the ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// Predict implements learn.Model: majority vote across trees, confidence
+// is the agreeing share of the ensemble.
+func (m *Model) Predict(row []string) learn.Prediction {
+	votes := make([]string, len(m.trees))
+	for i, tr := range m.trees {
+		votes[i] = tr.Predict(row).Label
+	}
+	label, share := learn.MajorityLabel(votes)
+	return learn.Prediction{
+		Label:      label,
+		Confidence: share,
+		Explanation: fmt.Sprintf("%d of %d trees vote %s",
+			int(share*float64(len(m.trees))+0.5), len(m.trees), label),
+	}
+}

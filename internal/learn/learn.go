@@ -1,0 +1,120 @@
+// Package learn defines the common interface of Auric's dependency-model
+// learners (Sec 3.2) and a registry of the five learners evaluated in the
+// paper: decision tree, random forest, k-nearest neighbors, deep neural
+// network, and collaborative filtering with chi-square tests of
+// independence.
+package learn
+
+import (
+	"fmt"
+	"sort"
+
+	"auric/internal/dataset"
+)
+
+// Prediction is a recommended configuration value with supporting context.
+type Prediction struct {
+	// Label is the canonical value label (paramspec.Param.Format output).
+	// Empty means the learner abstained (no usable evidence).
+	Label string
+	// Confidence is the learner's support for the label in [0, 1]
+	// (vote share, leaf purity, ensemble agreement, or softmax mass).
+	Confidence float64
+	// Explanation is a short human-readable account of why, in the spirit
+	// of the decision-tree explanations the paper's engineers valued
+	// (Sec 3.2, Fig 8).
+	Explanation string
+}
+
+// Model is a fitted per-parameter dependency model.
+type Model interface {
+	// Predict recommends a value label for one attribute row.
+	Predict(row []string) Prediction
+}
+
+// ScopedModel is implemented by models that can restrict the evidence used
+// for one prediction to a subset of training sites — the geographic
+// scoping of the paper's local learner (Sec 3.3).
+type ScopedModel interface {
+	Model
+	// PredictScoped predicts using only training samples whose site is
+	// allowed. A nil allowed behaves like Predict.
+	PredictScoped(row []string, allowed func(dataset.Site) bool) Prediction
+}
+
+// WeightedModel is implemented by models whose votes can be weighted by
+// external evidence — the paper's Sec 6 direction of giving "higher
+// weights (in our voting approach) to configuration changes that have
+// improved service performance in the past". A nil weight behaves like
+// PredictScoped.
+type WeightedModel interface {
+	ScopedModel
+	// PredictWeighted predicts with per-training-site vote weights
+	// (weights <= 0 exclude the site).
+	PredictWeighted(row []string, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) Prediction
+}
+
+// Learner fits dependency models from learning tables.
+type Learner interface {
+	// Name identifies the learner ("collaborative-filtering", ...).
+	Name() string
+	// Fit learns a model for the table's parameter. Fit fails only on
+	// unusable input (an empty table); a constant table yields a constant
+	// model.
+	Fit(t *dataset.Table) (Model, error)
+}
+
+// ErrEmptyTable is returned by Fit for tables with no rows.
+var ErrEmptyTable = fmt.Errorf("learn: empty learning table")
+
+// Factory builds a fresh learner with default hyperparameters.
+type Factory func() Learner
+
+var registry = map[string]Factory{}
+
+// Register adds a learner factory under its name. It panics on duplicates
+// and is intended to be called from init functions of learner packages.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("learn: duplicate learner " + name)
+	}
+	registry[name] = f
+}
+
+// New builds a registered learner by name.
+func New(name string) (Learner, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("learn: unknown learner %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered learners in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MajorityLabel returns the most frequent label and its share; ties break
+// to the lexicographically smallest label for determinism.
+func MajorityLabel(labels []string) (string, float64) {
+	if len(labels) == 0 {
+		return "", 0
+	}
+	counts := make(map[string]int, 8)
+	for _, l := range labels {
+		counts[l]++
+	}
+	best, bestN := "", -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best, float64(bestN) / float64(len(labels))
+}

@@ -1,0 +1,64 @@
+package learn_test
+
+import (
+	"testing"
+
+	"auric/internal/learn"
+	_ "auric/internal/learn/cf"
+	_ "auric/internal/learn/forest"
+	_ "auric/internal/learn/knn"
+	_ "auric/internal/learn/lasso"
+	_ "auric/internal/learn/mlp"
+	_ "auric/internal/learn/tree"
+)
+
+func TestRegistryHasAllLearners(t *testing.T) {
+	want := []string{
+		"collaborative-filtering",
+		"decision-tree",
+		"deep-neural-network",
+		"k-nearest-neighbors",
+		"lasso-regression",
+		"random-forest",
+	}
+	got := learn.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, n := range want {
+		l, err := learn.New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if l.Name() != n {
+			t.Errorf("learner %q reports name %q", n, l.Name())
+		}
+	}
+}
+
+func TestNewUnknownLearner(t *testing.T) {
+	if _, err := learn.New("gradient-boosting"); err == nil {
+		t.Error("unknown learner did not error")
+	}
+}
+
+func TestMajorityLabel(t *testing.T) {
+	label, share := learn.MajorityLabel([]string{"a", "b", "a", "a"})
+	if label != "a" || share != 0.75 {
+		t.Errorf("MajorityLabel = %q/%v, want a/0.75", label, share)
+	}
+	// Ties break lexicographically for determinism.
+	label, _ = learn.MajorityLabel([]string{"b", "a"})
+	if label != "a" {
+		t.Errorf("tie broke to %q, want a", label)
+	}
+	label, share = learn.MajorityLabel(nil)
+	if label != "" || share != 0 {
+		t.Error("empty input should yield empty label")
+	}
+}

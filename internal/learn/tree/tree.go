@@ -1,0 +1,384 @@
+// Package tree implements the decision-tree learner of Sec 3.2: splits are
+// chosen by Gini impurity reduction and the tree is expanded until leaves
+// are pure (all samples share a label), matching the evaluation setup of
+// Sec 4.2. Because all predictors are one-hot encoded categoricals, every
+// split is an equality test "attribute == category", which keeps the
+// explanations the paper's engineers valued (Fig 8) directly readable.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"auric/internal/dataset"
+	"auric/internal/learn"
+	"auric/internal/rng"
+)
+
+func init() { learn.Register("decision-tree", func() learn.Learner { return New() }) }
+
+// Options are the tree hyperparameters.
+type Options struct {
+	// MinLeaf is the minimum number of samples in a leaf; below it the
+	// node stops splitting. Zero means 1 (grow to purity, the paper's
+	// setting).
+	MinLeaf int
+	// MaxDepth limits tree depth; zero means unlimited.
+	MaxDepth int
+	// ColsPerSplit samples this many candidate columns at each node
+	// (random-forest style). Zero considers every column.
+	ColsPerSplit int
+	// OneHotFeatureSample, when set, samples ceil(sqrt(W)) candidate
+	// (column, category) pairs per node, where W is the total one-hot
+	// width (the number of distinct (column, category) pairs). This is
+	// how scikit-learn's random forest sees one-hot encoded data — each
+	// binary indicator is one feature — and is weaker per node than
+	// ColsPerSplit, which admits every category of a sampled column.
+	OneHotFeatureSample bool
+	// Seed drives feature sampling.
+	Seed uint64
+}
+
+// Learner fits decision trees.
+type Learner struct {
+	Opts Options
+}
+
+// New returns a tree learner with the paper's defaults (Gini, pure leaves).
+func New() *Learner { return &Learner{} }
+
+// Name implements learn.Learner.
+func (l *Learner) Name() string { return "decision-tree" }
+
+// Fit implements learn.Learner.
+func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
+	if t.Len() == 0 {
+		return nil, learn.ErrEmptyTable
+	}
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return l.FitIndices(t, idx)
+}
+
+// FitIndices fits a tree on the given row subset (with repetitions allowed,
+// as produced by bootstrap sampling). It is used directly by the
+// random-forest learner.
+func (l *Learner) FitIndices(t *dataset.Table, idx []int) (*Tree, error) {
+	if len(idx) == 0 {
+		return nil, learn.ErrEmptyTable
+	}
+	b := newBuilder(t, l.Opts)
+	root := b.grow(idx, 0)
+	return &Tree{
+		cols:     t.ColNames,
+		colVocab: b.colVocab,
+		labels:   b.labels,
+		nodes:    b.nodes,
+		root:     root,
+	}, nil
+}
+
+// Tree is a fitted decision tree.
+type Tree struct {
+	cols     []string
+	colVocab []map[string]int32
+	labels   []string
+	nodes    []node
+	root     int32
+}
+
+type node struct {
+	// Internal nodes test row[col] == cat: equal goes left.
+	col, cat    int32
+	left, right int32
+	// Leaves carry a label and its purity.
+	leaf   bool
+	label  int32
+	purity float64
+	n      int
+}
+
+// NumNodes reports the tree size.
+func (tr *Tree) NumNodes() int { return len(tr.nodes) }
+
+// Predict implements learn.Model.
+func (tr *Tree) Predict(row []string) learn.Prediction {
+	var path strings.Builder
+	ni := tr.root
+	for {
+		nd := &tr.nodes[ni]
+		if nd.leaf {
+			return learn.Prediction{
+				Label:      tr.labels[nd.label],
+				Confidence: nd.purity,
+				Explanation: fmt.Sprintf("decision path %s→ %s (leaf purity %.2f, n=%d)",
+					path.String(), tr.labels[nd.label], nd.purity, nd.n),
+			}
+		}
+		colName := tr.cols[nd.col]
+		catName := tr.catName(nd.col, nd.cat)
+		if tr.encodeValue(nd.col, row[nd.col]) == nd.cat {
+			fmt.Fprintf(&path, "%s=%s ", colName, catName)
+			ni = nd.left
+		} else {
+			fmt.Fprintf(&path, "%s≠%s ", colName, catName)
+			ni = nd.right
+		}
+	}
+}
+
+func (tr *Tree) catName(col, cat int32) string {
+	for name, id := range tr.colVocab[col] {
+		if id == cat {
+			return name
+		}
+	}
+	return fmt.Sprintf("cat(%d)", cat)
+}
+
+func (tr *Tree) encodeValue(col int32, v string) int32 {
+	if id, ok := tr.colVocab[col][v]; ok {
+		return id
+	}
+	return -1 // unseen category never equals a split category
+}
+
+// builder holds the interned training data during growth.
+type builder struct {
+	opts     Options
+	rows     [][]int32 // interned copy of the table rows
+	y        []int32   // interned labels
+	labels   []string
+	colVocab []map[string]int32
+	nodes    []node
+	r        *rng.RNG
+}
+
+func newBuilder(t *dataset.Table, opts Options) *builder {
+	if opts.MinLeaf <= 0 {
+		opts.MinLeaf = 1
+	}
+	b := &builder{
+		opts:     opts,
+		colVocab: make([]map[string]int32, len(t.ColNames)),
+		r:        rng.New(opts.Seed),
+	}
+	for c := range b.colVocab {
+		b.colVocab[c] = make(map[string]int32)
+	}
+	labelIdx := make(map[string]int32)
+	b.rows = make([][]int32, t.Len())
+	b.y = make([]int32, t.Len())
+	for i, row := range t.Rows {
+		enc := make([]int32, len(row))
+		for c, v := range row {
+			id, ok := b.colVocab[c][v]
+			if !ok {
+				id = int32(len(b.colVocab[c]))
+				b.colVocab[c][v] = id
+			}
+			enc[c] = id
+		}
+		b.rows[i] = enc
+		l, ok := labelIdx[t.Labels[i]]
+		if !ok {
+			l = int32(len(b.labels))
+			labelIdx[t.Labels[i]] = l
+			b.labels = append(b.labels, t.Labels[i])
+		}
+		b.y[i] = l
+	}
+	return b
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	majority, purity, pure := b.leafStats(idx)
+	if pure || len(idx) <= b.opts.MinLeaf ||
+		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth) {
+		return b.addLeaf(majority, purity, len(idx))
+	}
+	col, cat, gain := b.bestSplit(idx)
+	if gain <= 1e-12 {
+		return b.addLeaf(majority, purity, len(idx))
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.rows[i][col] == cat {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	// Reserve the node before recursing so children get later indices.
+	ni := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{col: col, cat: cat})
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[ni].left = l
+	b.nodes[ni].right = r
+	return ni
+}
+
+func (b *builder) addLeaf(label int32, purity float64, n int) int32 {
+	ni := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{leaf: true, label: label, purity: purity, n: n})
+	return ni
+}
+
+// leafStats returns the majority label of idx, its share, and whether the
+// node is pure.
+func (b *builder) leafStats(idx []int) (majority int32, purity float64, pure bool) {
+	counts := make([]int, len(b.labels))
+	distinct := 0
+	for _, i := range idx {
+		if counts[b.y[i]] == 0 {
+			distinct++
+		}
+		counts[b.y[i]]++
+	}
+	bestN := -1
+	for l, n := range counts {
+		if n > bestN {
+			majority, bestN = int32(l), n
+		}
+	}
+	return majority, float64(bestN) / float64(len(idx)), distinct == 1
+}
+
+// bestSplit scans candidate (column, category) equality splits and returns
+// the one with the largest Gini impurity decrease. All accumulation runs
+// over label-id slices in fixed order, so results are bit-for-bit
+// deterministic.
+func (b *builder) bestSplit(idx []int) (bestCol, bestCat int32, bestGain float64) {
+	bestCol, bestCat, bestGain = -1, -1, 0
+	numLabels := len(b.labels)
+	nodeLabels := make([]int, numLabels)
+	for _, i := range idx {
+		nodeLabels[b.y[i]]++
+	}
+	total := len(idx)
+	parentGini := giniOf(nodeLabels, total)
+
+	var sampledCats map[int32]map[int32]bool
+	var cols []int32
+	if b.opts.OneHotFeatureSample {
+		sampledCats = b.samplePairs()
+		cols = make([]int32, 0, len(sampledCats))
+		for c := range sampledCats {
+			cols = append(cols, c)
+		}
+		// Deterministic column order for tie-breaking.
+		for i := 1; i < len(cols); i++ {
+			for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+				cols[j], cols[j-1] = cols[j-1], cols[j]
+			}
+		}
+	} else {
+		cols = b.candidateCols()
+	}
+	rest := make([]int, numLabels)
+	for _, c := range cols {
+		// Per-category, per-label counts within this node, in category-id
+		// order.
+		numCats := len(b.colVocab[c])
+		catN := make([]int, numCats)
+		catLabels := make([][]int, numCats)
+		for _, i := range idx {
+			cat := b.rows[i][c]
+			if catLabels[cat] == nil {
+				catLabels[cat] = make([]int, numLabels)
+			}
+			catN[cat]++
+			catLabels[cat][b.y[i]]++
+		}
+		for cat := 0; cat < numCats; cat++ {
+			if sampledCats != nil && !sampledCats[c][int32(cat)] {
+				continue
+			}
+			nl := catN[cat]
+			nr := total - nl
+			if nl == 0 || nr == 0 {
+				continue
+			}
+			giniL := giniOf(catLabels[cat], nl)
+			for l := 0; l < numLabels; l++ {
+				rest[l] = nodeLabels[l] - catLabels[cat][l]
+			}
+			giniR := giniOf(rest, nr)
+			gain := parentGini - (float64(nl)*giniL+float64(nr)*giniR)/float64(total)
+			if gain > bestGain ||
+				(gain == bestGain && (c < bestCol || (c == bestCol && int32(cat) < bestCat))) {
+				bestCol, bestCat, bestGain = c, int32(cat), gain
+			}
+		}
+	}
+	return bestCol, bestCat, bestGain
+}
+
+// samplePairs draws ceil(sqrt(W)) distinct (column, category) pairs from
+// the W one-hot indicators, grouped by column.
+func (b *builder) samplePairs() map[int32]map[int32]bool {
+	total := 0
+	for _, v := range b.colVocab {
+		total += len(v)
+	}
+	k := int(math.Ceil(math.Sqrt(float64(total))))
+	if k < 1 {
+		k = 1
+	}
+	perm := b.r.Perm(total)
+	// Column offsets into the flattened (column, category) space.
+	out := make(map[int32]map[int32]bool, k)
+	for _, flat := range perm[:k] {
+		col, cat := 0, flat
+		for cat >= len(b.colVocab[col]) {
+			cat -= len(b.colVocab[col])
+			col++
+		}
+		m := out[int32(col)]
+		if m == nil {
+			m = make(map[int32]bool, 2)
+			out[int32(col)] = m
+		}
+		m[int32(cat)] = true
+	}
+	return out
+}
+
+// candidateCols returns the columns considered at this node: all of them,
+// or a random sample of ColsPerSplit for forests.
+func (b *builder) candidateCols() []int32 {
+	n := len(b.colVocab)
+	if b.opts.ColsPerSplit <= 0 || b.opts.ColsPerSplit >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	perm := b.r.Perm(n)
+	out := make([]int32, b.opts.ColsPerSplit)
+	for i := range out {
+		out[i] = int32(perm[i])
+	}
+	return out
+}
+
+func giniOf(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, n := range counts {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / float64(total)
+		sum += p * p
+	}
+	return 1 - sum
+}

@@ -1,0 +1,111 @@
+package lte
+
+import "strconv"
+
+// Attribute identifies one learner-visible carrier attribute from Table 1.
+// The hidden Terrain attribute is intentionally not part of this set.
+type Attribute int
+
+const (
+	AttrFrequency Attribute = iota
+	AttrCarrierType
+	AttrCarrierInfo
+	AttrMorphology
+	AttrBandwidth
+	AttrMIMOMode
+	AttrHardware
+	AttrCellSize
+	AttrTAC
+	AttrMarket
+	AttrVendor
+	AttrNeighborChannel
+	AttrNeighborsOnENB
+	AttrSoftwareVersion
+	// NumAttributes is the size of the learner-visible attribute vector.
+	NumAttributes
+)
+
+var attributeNames = [NumAttributes]string{
+	AttrFrequency:       "carrierFrequency",
+	AttrCarrierType:     "carrierType",
+	AttrCarrierInfo:     "carrierInfo",
+	AttrMorphology:      "morphology",
+	AttrBandwidth:       "channelBandwidth",
+	AttrMIMOMode:        "downlinkMimoMode",
+	AttrHardware:        "hardwareConfiguration",
+	AttrCellSize:        "expectedCellSize",
+	AttrTAC:             "trackingAreaCode",
+	AttrMarket:          "market",
+	AttrVendor:          "vendor",
+	AttrNeighborChannel: "neighborChannel",
+	AttrNeighborsOnENB:  "neighborsOnSameENodeB",
+	AttrSoftwareVersion: "softwareVersion",
+}
+
+// String returns the attribute's camelCase name.
+func (a Attribute) String() string {
+	if a < 0 || a >= NumAttributes {
+		return "attribute(" + strconv.Itoa(int(a)) + ")"
+	}
+	return attributeNames[a]
+}
+
+// AttributeNames returns the names of all learner-visible attributes in
+// vector order.
+func AttributeNames() []string {
+	out := make([]string, NumAttributes)
+	for i := range out {
+		out[i] = attributeNames[i]
+	}
+	return out
+}
+
+// AttributeVector renders the carrier's learner-visible attributes as
+// categorical values in the fixed order defined by the Attribute constants.
+// All attributes — including numeric ones such as channel bandwidth — are
+// treated as nominal and one-hot encoded downstream, exactly as in
+// Sec 3.1 of the paper.
+func (c *Carrier) AttributeVector() []string {
+	v := make([]string, NumAttributes)
+	v[AttrFrequency] = strconv.Itoa(c.FrequencyMHz)
+	v[AttrCarrierType] = c.Type.String()
+	v[AttrCarrierInfo] = c.Info
+	v[AttrMorphology] = c.Morphology.String()
+	v[AttrBandwidth] = strconv.Itoa(c.BandwidthMHz)
+	v[AttrMIMOMode] = c.MIMOMode
+	v[AttrHardware] = c.Hardware
+	v[AttrCellSize] = strconv.Itoa(c.CellSizeMi)
+	v[AttrTAC] = strconv.Itoa(c.TAC)
+	v[AttrMarket] = strconv.Itoa(c.Market)
+	v[AttrVendor] = c.Vendor
+	v[AttrNeighborChannel] = strconv.Itoa(c.NeighborChan)
+	v[AttrNeighborsOnENB] = strconv.Itoa(c.NeighborsOnENB)
+	v[AttrSoftwareVersion] = c.SoftwareVersion
+	return v
+}
+
+// PairAttributeVector renders the concatenated attribute vectors of a
+// carrier and one of its neighbors, used as the predictor for pair-wise
+// parameters (Sec 4.1: "for pair-wise parameters, we use both the
+// attributes of the carriers and their corresponding neighbors").
+func PairAttributeVector(c, neighbor *Carrier) []string {
+	cv := c.AttributeVector()
+	nv := neighbor.AttributeVector()
+	out := make([]string, 0, len(cv)+len(nv))
+	out = append(out, cv...)
+	out = append(out, nv...)
+	return out
+}
+
+// PairAttributeNames returns the names for PairAttributeVector columns:
+// the carrier attributes followed by the neighbor attributes with a
+// "neighbor." prefix.
+func PairAttributeNames() []string {
+	base := AttributeNames()
+	out := make([]string, 0, 2*len(base))
+	out = append(out, base...)
+	for _, n := range base {
+		out = append(out, "neighbor."+n)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package lte
+
+import (
+	"fmt"
+
+	"auric/internal/paramspec"
+)
+
+// EdgeKey identifies a directed carrier→neighbor X2 relation.
+type EdgeKey struct {
+	From, To CarrierID
+}
+
+// Config holds a full configuration snapshot for a network: one value per
+// (carrier, singular parameter) and one per (carrier, neighbor, pair-wise
+// parameter). Values are always on the parameter's grid.
+type Config struct {
+	schema *paramspec.Schema
+	// kindPos maps schema parameter index -> position within its kind's
+	// value rows.
+	kindPos     []int
+	numSingular int
+	numPairWise int
+	singular    [][]float64           // [carrier][singular pos]
+	pair        map[EdgeKey][]float64 // [edge][pairwise pos]
+}
+
+// NewConfig allocates a configuration snapshot for numCarriers carriers
+// under the given schema. All values start at each parameter's Min.
+func NewConfig(schema *paramspec.Schema, numCarriers int) *Config {
+	c := &Config{
+		schema:  schema,
+		kindPos: make([]int, schema.Len()),
+		pair:    make(map[EdgeKey][]float64),
+	}
+	for i := 0; i < schema.Len(); i++ {
+		if schema.At(i).Kind == paramspec.Singular {
+			c.kindPos[i] = c.numSingular
+			c.numSingular++
+		} else {
+			c.kindPos[i] = c.numPairWise
+			c.numPairWise++
+		}
+	}
+	c.singular = make([][]float64, numCarriers)
+	backing := make([]float64, numCarriers*c.numSingular)
+	for i := range c.singular {
+		c.singular[i] = backing[i*c.numSingular : (i+1)*c.numSingular]
+	}
+	// Initialize to each parameter's minimum so every stored value is valid.
+	for i := 0; i < schema.Len(); i++ {
+		p := schema.At(i)
+		if p.Kind != paramspec.Singular {
+			continue
+		}
+		pos := c.kindPos[i]
+		for j := range c.singular {
+			c.singular[j][pos] = p.Min
+		}
+	}
+	return c
+}
+
+// Schema returns the parameter schema the config is laid out against.
+func (c *Config) Schema() *paramspec.Schema { return c.schema }
+
+// Grow extends the configuration to cover n additional carriers, whose
+// singular values start at each parameter's Min. It is used when new
+// carriers are integrated into a live network (the launch workflow).
+func (c *Config) Grow(n int) {
+	for i := 0; i < n; i++ {
+		row := make([]float64, c.numSingular)
+		for j := 0; j < c.schema.Len(); j++ {
+			if p := c.schema.At(j); p.Kind == paramspec.Singular {
+				row[c.kindPos[j]] = p.Min
+			}
+		}
+		c.singular = append(c.singular, row)
+	}
+}
+
+// NumCarriers reports the number of carriers the config covers.
+func (c *Config) NumCarriers() int { return len(c.singular) }
+
+// Get returns the value of singular parameter param (schema index) on the
+// carrier.
+func (c *Config) Get(id CarrierID, param int) float64 {
+	c.mustKind(param, paramspec.Singular)
+	return c.singular[id][c.kindPos[param]]
+}
+
+// Set stores the value of singular parameter param on the carrier,
+// quantizing it to the parameter grid.
+func (c *Config) Set(id CarrierID, param int, v float64) {
+	c.mustKind(param, paramspec.Singular)
+	c.singular[id][c.kindPos[param]] = c.schema.At(param).Quantize(v)
+}
+
+// GetPair returns the value of pair-wise parameter param on the directed
+// carrier→neighbor relation, and whether the relation has been configured.
+func (c *Config) GetPair(from, to CarrierID, param int) (float64, bool) {
+	c.mustKind(param, paramspec.PairWise)
+	row, ok := c.pair[EdgeKey{from, to}]
+	if !ok {
+		return 0, false
+	}
+	return row[c.kindPos[param]], true
+}
+
+// SetPair stores the value of pair-wise parameter param on the directed
+// carrier→neighbor relation, creating the relation row on first use. New
+// rows start with every pair-wise parameter at its Min.
+func (c *Config) SetPair(from, to CarrierID, param int, v float64) {
+	c.mustKind(param, paramspec.PairWise)
+	key := EdgeKey{from, to}
+	row, ok := c.pair[key]
+	if !ok {
+		row = make([]float64, c.numPairWise)
+		for i := 0; i < c.schema.Len(); i++ {
+			p := c.schema.At(i)
+			if p.Kind == paramspec.PairWise {
+				row[c.kindPos[i]] = p.Min
+			}
+		}
+		c.pair[key] = row
+	}
+	row[c.kindPos[param]] = c.schema.At(param).Quantize(v)
+}
+
+// Edges returns all configured directed relations in unspecified order.
+func (c *Config) Edges() []EdgeKey {
+	out := make([]EdgeKey, 0, len(c.pair))
+	for k := range c.pair {
+		out = append(out, k)
+	}
+	return out
+}
+
+// NumEdges reports the number of configured directed relations.
+func (c *Config) NumEdges() int { return len(c.pair) }
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	out := NewConfig(c.schema, len(c.singular))
+	for i := range c.singular {
+		copy(out.singular[i], c.singular[i])
+	}
+	for k, row := range c.pair {
+		r := make([]float64, len(row))
+		copy(r, row)
+		out.pair[k] = r
+	}
+	return out
+}
+
+// CarrierValues returns the singular parameter values of one carrier as a
+// map from parameter name to value, for reports and the EMS controller.
+func (c *Config) CarrierValues(id CarrierID) map[string]float64 {
+	out := make(map[string]float64, c.numSingular)
+	for i := 0; i < c.schema.Len(); i++ {
+		if c.schema.At(i).Kind == paramspec.Singular {
+			out[c.schema.At(i).Name] = c.singular[id][c.kindPos[i]]
+		}
+	}
+	return out
+}
+
+func (c *Config) mustKind(param int, k paramspec.Kind) {
+	if param < 0 || param >= c.schema.Len() {
+		panic(fmt.Sprintf("lte: parameter index %d out of range", param))
+	}
+	if c.schema.At(param).Kind != k {
+		panic(fmt.Sprintf("lte: parameter %s is %v, accessed as %v",
+			c.schema.At(param).Name, c.schema.At(param).Kind, k))
+	}
+}

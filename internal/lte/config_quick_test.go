@@ -1,0 +1,113 @@
+package lte
+
+import (
+	"testing"
+	"testing/quick"
+
+	"auric/internal/paramspec"
+)
+
+// Property: for any (carrier, parameter, raw value), Set followed by Get
+// returns the quantized value, which is always valid on the grid; and
+// setting one site never disturbs another.
+func TestConfigSetGetProperty(t *testing.T) {
+	schema := paramspec.Default()
+	cfg := NewConfig(schema, 8)
+	singular := schema.Singular()
+
+	f := func(carrier uint8, paramSel uint8, raw float64, other uint8) bool {
+		id := CarrierID(int(carrier) % 8)
+		pi := singular[int(paramSel)%len(singular)]
+		p := schema.At(pi)
+		if raw != raw || raw > 1e12 || raw < -1e12 { // NaN / extreme
+			return true
+		}
+		otherID := CarrierID(int(other) % 8)
+		var before float64
+		if otherID != id {
+			before = cfg.Get(otherID, pi)
+		}
+		cfg.Set(id, pi, raw)
+		got := cfg.Get(id, pi)
+		if !p.Valid(got) || got != p.Quantize(raw) {
+			return false
+		}
+		if otherID != id && cfg.Get(otherID, pi) != before {
+			return false // cross-carrier interference
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pair-wise relations are directed and independent per
+// parameter.
+func TestConfigPairProperty(t *testing.T) {
+	schema := paramspec.Default()
+	cfg := NewConfig(schema, 16)
+	pair := schema.PairWise()
+
+	f := func(a, b uint8, paramSel uint8, raw float64) bool {
+		from := CarrierID(int(a) % 16)
+		to := CarrierID(int(b) % 16)
+		if from == to {
+			return true
+		}
+		pi := pair[int(paramSel)%len(pair)]
+		p := schema.At(pi)
+		if raw != raw || raw > 1e12 || raw < -1e12 {
+			return true
+		}
+		// The reverse relation's value (if any) must be untouched.
+		revBefore, revSet := cfg.GetPair(to, from, pi)
+		cfg.SetPair(from, to, pi, raw)
+		got, ok := cfg.GetPair(from, to, pi)
+		if !ok || got != p.Quantize(raw) || !p.Valid(got) {
+			return false
+		}
+		revAfter, revSetAfter := cfg.GetPair(to, from, pi)
+		return revSet == revSetAfter && (!revSet || revBefore == revAfter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Grow preserves all existing values and adds rows at the
+// parameter minimum.
+func TestConfigGrowProperty(t *testing.T) {
+	schema := paramspec.Default()
+	singular := schema.Singular()
+	f := func(vals [6]float64, growBy uint8) bool {
+		cfg := NewConfig(schema, 3)
+		pi := singular[2]
+		for i, v := range vals[:3] {
+			if v != v {
+				return true
+			}
+			cfg.Set(CarrierID(i), pi, v)
+		}
+		before := []float64{cfg.Get(0, pi), cfg.Get(1, pi), cfg.Get(2, pi)}
+		n := int(growBy)%5 + 1
+		cfg.Grow(n)
+		if cfg.NumCarriers() != 3+n {
+			return false
+		}
+		for i, b := range before {
+			if cfg.Get(CarrierID(i), pi) != b {
+				return false
+			}
+		}
+		for i := 3; i < 3+n; i++ {
+			if cfg.Get(CarrierID(i), pi) != schema.At(pi).Min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

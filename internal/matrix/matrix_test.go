@@ -1,0 +1,180 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"auric/internal/rng"
+)
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 || m.At(0, 0) != 1 {
+		t.Error("At returned wrong values")
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Error("Set did not stick")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	dst := New(2, 2)
+	Mul(dst, a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if dst.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, dst.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulTransposesAgree(t *testing.T) {
+	// For random matrices: MulAT(aᵀ as a) == Mul(transpose(a), b) and
+	// MulBT(a, b) == Mul(a, transpose(b)).
+	r := rng.New(11)
+	randM := func(rows, cols int) *Dense {
+		m := New(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		return m
+	}
+	transpose := func(m *Dense) *Dense {
+		out := New(m.Cols, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				out.Set(j, i, m.At(i, j))
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 5; trial++ {
+		a := randM(4, 3)
+		b := randM(4, 5)
+		got := New(3, 5)
+		MulAT(got, a, b)
+		want := New(3, 5)
+		Mul(want, transpose(a), b)
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("MulAT disagrees with explicit transpose at %d", i)
+			}
+		}
+
+		c := randM(4, 3)
+		d := randM(5, 3)
+		got2 := New(4, 5)
+		MulBT(got2, c, d)
+		want2 := New(4, 5)
+		Mul(want2, c, transpose(d))
+		for i := range got2.Data {
+			if math.Abs(got2.Data[i]-want2.Data[i]) > 1e-12 {
+				t.Fatalf("MulBT disagrees with explicit transpose at %d", i)
+			}
+		}
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 2) // inner mismatch
+	dst := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Mul with bad inner dims did not panic")
+		}
+	}()
+	Mul(dst, a, b)
+}
+
+func TestApplyScaleAddAxpy(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {-3, 4}})
+	m.Apply(math.Abs)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("Apply(abs) failed")
+	}
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Error("Scale failed")
+	}
+	n := FromRows([][]float64{{1, 1}, {1, 1}})
+	m.Add(n)
+	if m.At(0, 0) != 3 {
+		t.Error("Add failed")
+	}
+	m.Axpy(-2, n)
+	if m.At(0, 0) != 1 {
+		t.Error("Axpy failed")
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m.AddRowVector([]float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(2, 1) != 26 {
+		t.Error("AddRowVector failed")
+	}
+	sums := m.ColSums()
+	if sums[0] != 11+13+15 || sums[1] != 22+24+26 {
+		t.Errorf("ColSums = %v", sums)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	m.Set(0, 0, 99)
+	if c.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMulLinearity(t *testing.T) {
+	// Property: (a1+a2)*b == a1*b + a2*b.
+	f := func(vals [12]float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		a1 := FromRows([][]float64{{vals[0], vals[1]}, {vals[2], vals[3]}})
+		a2 := FromRows([][]float64{{vals[4], vals[5]}, {vals[6], vals[7]}})
+		b := FromRows([][]float64{{vals[8], vals[9]}, {vals[10], vals[11]}})
+		sum := a1.Clone()
+		sum.Add(a2)
+		lhs := New(2, 2)
+		Mul(lhs, sum, b)
+		r1, r2 := New(2, 2), New(2, 2)
+		Mul(r1, a1, b)
+		Mul(r2, a2, b)
+		r1.Add(r2)
+		for i := range lhs.Data {
+			scale := 1 + math.Abs(lhs.Data[i])
+			if math.Abs(lhs.Data[i]-r1.Data[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,423 @@
+package netsim
+
+import (
+	"fmt"
+
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+	"auric/internal/rng"
+)
+
+// The ground-truth process assigns every configuration value in four
+// layers, mirroring how the paper describes values coming to be
+// (Secs 2.4, 2.6, 4.3.3):
+//
+//  1. a rulebook base value determined by a small subset of attributes,
+//  2. a per-market engineering style offset,
+//  3. per-cluster local tuning overrides (occasionally rare values),
+//  4. exceptional states: certification roll-outs in progress, hidden
+//     terrain shifts, and stale trial leftovers.
+//
+// All draws are hash-keyed on stable strings so that the truth of a given
+// (parameter, market, cluster, carrier) is independent of generation order.
+
+// hashKey derives a deterministic RNG from the world seed and a label.
+func (w *World) hashKey(parts ...string) *rng.RNG {
+	h := uint64(1469598103934665603)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	for _, p := range parts {
+		mix(p)
+	}
+	return rng.New(h ^ (w.Opts.Seed * 0x9e3779b97f4a7c15))
+}
+
+// tunability is how aggressively engineers tune a parameter away from the
+// rulebook base. Named parameters the paper calls out as heavily tuned get
+// explicit values; the rest take a hash-derived value in [0.1, 0.6].
+var explicitTunability = map[string]float64{
+	"sFreqPrio":            1.00,
+	"capacityThreshold":    0.90,
+	"hysA3Offset":          0.85,
+	"inactivityTimer":      0.80,
+	"cellIndividualOffset": 0.80,
+	"qRxLevMin":            0.60,
+	"lbThreshold":          0.70,
+	"a3Offset":             0.65,
+	"pMax":                 0.50,
+}
+
+func (w *World) tunability(p paramspec.Param) float64 {
+	if t, ok := explicitTunability[p.Name]; ok {
+		return t
+	}
+	r := w.hashKey("tunability", p.Name)
+	return 0.1 + 0.5*r.Float64()
+}
+
+// designLevels is how many distinct rulebook base values the parameter has
+// across attribute combinations (before tuning): between 2 and 8,
+// hash-derived, larger for more tunable parameters.
+func (w *World) designLevels(p paramspec.Param) int {
+	r := w.hashKey("levels", p.Name)
+	n := 3 + r.Intn(6)
+	if w.tunability(p) > 0.7 {
+		n += 3
+	}
+	if max := p.Levels(); n > max {
+		n = max
+	}
+	return n
+}
+
+// stepUnit is the grid distance of one "engineering step" for the
+// parameter: a meaningful adjustment, scaled to the grid size.
+func stepUnit(p paramspec.Param) int {
+	u := p.Levels() / 50
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// dependencyPool lists the candidate attributes per functional category
+// for singular parameters (indices into the carrier attribute vector).
+var dependencyPool = map[paramspec.Category][]lte.Attribute{
+	paramspec.PowerControl:           {lte.AttrFrequency, lte.AttrBandwidth, lte.AttrHardware, lte.AttrMorphology, lte.AttrCarrierType},
+	paramspec.RadioConnection:        {lte.AttrFrequency, lte.AttrMorphology, lte.AttrCellSize, lte.AttrVendor, lte.AttrCarrierInfo},
+	paramspec.LinkAdaptation:         {lte.AttrBandwidth, lte.AttrHardware, lte.AttrVendor, lte.AttrMIMOMode},
+	paramspec.Scheduling:             {lte.AttrBandwidth, lte.AttrVendor, lte.AttrMarket, lte.AttrCarrierType},
+	paramspec.CapacityManagement:     {lte.AttrFrequency, lte.AttrMorphology, lte.AttrMarket, lte.AttrNeighborsOnENB},
+	paramspec.LayerManagement:        {lte.AttrFrequency, lte.AttrCellSize, lte.AttrMarket, lte.AttrTAC, lte.AttrNeighborChannel},
+	paramspec.InterferenceManagement: {lte.AttrFrequency, lte.AttrMorphology, lte.AttrBandwidth, lte.AttrNeighborChannel},
+	paramspec.CongestionControl:      {lte.AttrMorphology, lte.AttrMarket, lte.AttrBandwidth, lte.AttrTAC},
+}
+
+// pairDependencyPool lists candidate columns of the pair attribute vector
+// for pair-wise parameters: the carrier's own attributes plus selected
+// neighbor attributes (columns >= lte.NumAttributes are neighbor
+// attributes).
+var pairDependencyPool = []int{
+	int(lte.AttrFrequency),
+	int(lte.NumAttributes) + int(lte.AttrFrequency),
+	int(lte.AttrMorphology),
+	int(lte.AttrCellSize),
+	int(lte.AttrVendor),
+	int(lte.AttrTAC),
+	int(lte.NumAttributes) + int(lte.AttrBandwidth),
+	int(lte.NumAttributes) + int(lte.AttrCellSize),
+}
+
+// TrueDependencies returns the attribute columns the ground truth actually
+// uses for parameter (schema index) i: indices into the carrier attribute
+// vector for singular parameters, or into the pair attribute vector for
+// pair-wise ones. Exposed for tests and the dependency-recovery ablation.
+func (w *World) TrueDependencies(i int) []int {
+	p := w.Schema.At(i)
+	r := w.hashKey("deps", p.Name)
+	var pool []int
+	if p.Kind == paramspec.Singular {
+		for _, a := range dependencyPool[p.Category] {
+			pool = append(pool, int(a))
+		}
+	} else {
+		pool = append(pool, pairDependencyPool...)
+	}
+	k := 1 + r.Intn(3)
+	if k > len(pool) {
+		k = len(pool)
+	}
+	perm := r.Perm(len(pool))
+	deps := make([]int, 0, k)
+	for _, pi := range perm[:k] {
+		deps = append(deps, pool[pi])
+	}
+	return deps
+}
+
+// baseIndex returns the rulebook base grid index for a parameter given the
+// values of its dependent attributes.
+//
+// The rule structure is additive, the way real radio rule-books compose: a
+// primary attribute (the strongest dependency) selects the design level,
+// and the remaining dependent attributes contribute bounded offsets. Every
+// dependency is therefore marginally visible — exactly what chi-square
+// tests of independence detect (Sec 3.2). Design levels are drawn
+// geometrically — most primary-attribute values share a dominant level
+// with a decaying tail — and secondary offsets are one-sided per
+// attribute, which together reproduce the heavy skew of real configuration
+// value distributions (Sec 2.6, Fig 4).
+func (w *World) baseIndex(p paramspec.Param, deps []int, attrs []string) int {
+	if len(deps) == 0 {
+		return designValueIndex(p, 0, 1)
+	}
+	levels := w.designLevels(p)
+	// Primary attribute: geometric level selection.
+	r := w.hashKey("base", p.Name, attrs[deps[0]])
+	k := 0
+	for k < levels-1 && r.Bool(0.45) {
+		k++
+	}
+	// Per-parameter skew direction: some parameters pile up at the low
+	// end of their range, others at the high end.
+	if w.hashKey("skew-dir", p.Name).Bool(0.5) {
+		k = levels - 1 - k
+	}
+	bi := designValueIndex(p, k, levels)
+	// Secondary attributes: additive offsets, one-sided per (parameter,
+	// attribute) with geometric magnitudes (often zero).
+	for _, d := range deps[1:] {
+		er := w.hashKey("effect", p.Name, fmt.Sprint(d), attrs[d])
+		mag := 0
+		for mag < 4 && er.Bool(0.5) {
+			mag++
+		}
+		if mag == 0 {
+			continue
+		}
+		shift := mag * stepUnit(p)
+		if w.hashKey("effect-dir", p.Name, fmt.Sprint(d)).Bool(0.35) {
+			shift = -shift
+		}
+		bi += shift
+	}
+	return clampIndex(p, bi)
+}
+
+// designValueIndex spreads design level k of `levels` across the middle
+// 60% of the parameter grid.
+func designValueIndex(p paramspec.Param, k, levels int) int {
+	max := p.Levels() - 1
+	if max <= 0 {
+		return 0
+	}
+	lo := int(0.2 * float64(max))
+	hi := int(0.8 * float64(max))
+	if levels <= 1 {
+		return (lo + hi) / 2
+	}
+	return lo + (hi-lo)*k/(levels-1)
+}
+
+// profileIndex returns the special-profile base value for carriers whose
+// type or info marks them as non-standard (FirstNet, NB-IoT, border,
+// 5G-colocated). Such carriers carry their own engineering profiles across
+// roughly half the parameters — rare subpopulations with distinctive
+// values, the Sec 3.2 case where rare samples must not be treated as
+// outliers. Profiles are attribute-expressible (type and info are in
+// Table 1), so a learner that conditions on the right attributes recovers
+// them exactly.
+func (w *World) profileIndex(p paramspec.Param, attrs []string) (int, bool) {
+	tryProfile := func(kind, value string, share float64) (int, bool) {
+		if value == "" || value == "standard" {
+			return 0, false
+		}
+		r := w.hashKey("profile", kind, value, p.Name)
+		if !r.Bool(share) {
+			return 0, false
+		}
+		return designValueIndex(p, r.Intn(w.designLevels(p)), w.designLevels(p)), true
+	}
+	if bi, ok := tryProfile("type", attrs[lte.AttrCarrierType], 0.55); ok {
+		return bi, true
+	}
+	return tryProfile("info", attrs[lte.AttrCarrierInfo], 0.35)
+}
+
+// marketStyleShift returns the per-market style offset (in grid steps) for
+// the parameter, or 0 when the market follows the rulebook.
+func (w *World) marketStyleShift(p paramspec.Param, market int) int {
+	r := w.hashKey("style", p.Name, fmt.Sprint(market))
+	if !r.Bool(w.Opts.Truth.MarketStyleRate * w.tunability(p)) {
+		return 0
+	}
+	mag := (1 + r.Intn(3)) * stepUnit(p)
+	if r.Bool(0.5) {
+		return -mag
+	}
+	return mag
+}
+
+// clusterOverride returns an absolute grid index override for (parameter,
+// cluster), relative to the given base, or -1 when the cluster has no
+// override. Cluster keys are global: market and market-local cluster id.
+func (w *World) clusterOverride(p paramspec.Param, market, cluster, base int) int {
+	r := w.hashKey("cluster", p.Name, fmt.Sprint(market), fmt.Sprint(cluster))
+	if !r.Bool(w.Opts.Truth.ClusterOverrideRate * w.tunability(p)) {
+		return -1
+	}
+	if r.Bool(w.Opts.Truth.RareValueShare) {
+		// A rare, far value: somewhere on the whole grid.
+		return r.Intn(p.Levels())
+	}
+	shift := (1 + r.Intn(8)) * stepUnit(p)
+	if r.Bool(0.5) {
+		shift = -shift
+	}
+	return clampIndex(p, base+shift)
+}
+
+// terrainAffected reports whether the parameter is influenced by the
+// hidden terrain attribute.
+func (w *World) terrainAffected(p paramspec.Param) bool {
+	switch p.Category {
+	case paramspec.PowerControl, paramspec.RadioConnection,
+		paramspec.InterferenceManagement, paramspec.Mobility:
+		r := w.hashKey("terrain-affected", p.Name)
+		return r.Float64() < w.Opts.Truth.TerrainShare*2.5
+	default:
+		return false
+	}
+}
+
+// terrainShift is the grid-step shift terrain t applies to the parameter.
+func (w *World) terrainShift(p paramspec.Param, t lte.Terrain) int {
+	if t == lte.FlatTerrain {
+		return 0
+	}
+	r := w.hashKey("terrain-shift", p.Name, t.String())
+	mag := (1 + r.Intn(3)) * stepUnit(p)
+	if r.Bool(0.5) {
+		return -mag
+	}
+	return mag
+}
+
+// rollout describes an in-progress certification roll-out of a new value
+// for (parameter, market), or ok=false.
+func (w *World) rollout(p paramspec.Param, market int) (newShift int, ok bool) {
+	r := w.hashKey("rollout", p.Name, fmt.Sprint(market))
+	if !r.Bool(w.Opts.Truth.RolloutRate) {
+		return 0, false
+	}
+	return (2 + r.Intn(3)) * stepUnit(p), true
+}
+
+// rolloutCluster reports whether the cluster participates in an active
+// roll-out of the parameter.
+func (w *World) rolloutCluster(p paramspec.Param, market, cluster int) bool {
+	r := w.hashKey("rollout-cluster", p.Name, fmt.Sprint(market), fmt.Sprint(cluster))
+	return r.Bool(w.Opts.Truth.RolloutClusterShare)
+}
+
+func clampIndex(p paramspec.Param, i int) int {
+	if i < 0 {
+		return 0
+	}
+	if max := p.Levels() - 1; i > max {
+		return max
+	}
+	return i
+}
+
+// intendedIndex computes the engineer-intended grid index of one value
+// site before any per-carrier noise: rulebook base, market style, cluster
+// override, then roll-out or hidden-terrain adjustments. It is also the
+// oracle used to produce correct vendor templates for new carriers in the
+// launch simulation.
+func (w *World) intendedIndex(p paramspec.Param, deps []int, attrs []string,
+	market, cluster int, terrain lte.Terrain) (int, Cause) {
+
+	bi := w.baseIndex(p, deps, attrs)
+	if pi, ok := w.profileIndex(p, attrs); ok {
+		bi = pi
+	}
+	bi = clampIndex(p, bi+w.marketStyleShift(p, market))
+	if ov := w.clusterOverride(p, market, cluster, bi); ov >= 0 {
+		bi = ov
+	}
+	cause := CauseNormal
+	if shift, active := w.rollout(p, market); active && w.rolloutCluster(p, market, cluster) {
+		bi = clampIndex(p, bi+shift)
+		cause = CauseRecentRollout
+	} else if w.terrainAffected(p) {
+		if ts := w.terrainShift(p, terrain); ts != 0 {
+			bi = clampIndex(p, bi+ts)
+			cause = CauseHiddenTerrain
+		}
+	}
+	return bi, cause
+}
+
+// truthValue computes the (optimal, current, cause) grid indices for one
+// value site. attrs is the carrier or pair attribute vector; market and
+// cluster locate the owning carrier; terrain is the owning carrier's
+// hidden terrain; trialRNG draws the per-carrier noise for this site.
+func (w *World) truthValue(p paramspec.Param, deps []int, attrs []string,
+	market, cluster int, terrain lte.Terrain, trialRNG *rng.RNG) (optimal, current int, cause Cause) {
+
+	bi, cause := w.intendedIndex(p, deps, attrs, market, cluster, terrain)
+	if cause == CauseNormal && trialRNG.Bool(w.Opts.Truth.MicroTuneRate) {
+		// An individual engineer micro-adjustment: intentional, kept as
+		// the optimum, but invisible to any attribute- or
+		// geography-based model.
+		shift := (1 + trialRNG.Intn(2)) * stepUnit(p)
+		if trialRNG.Bool(0.5) {
+			shift = -shift
+		}
+		bi = clampIndex(p, bi+shift)
+	}
+	optimal, current = bi, bi
+	if trialRNG.Bool(w.Opts.Truth.StaleTrialRate) {
+		// An abandoned trial left a different value behind.
+		shift := (1 + trialRNG.Intn(6)) * stepUnit(p)
+		if trialRNG.Bool(0.5) {
+			shift = -shift
+		}
+		current = clampIndex(p, bi+shift)
+		if current == bi { // clamped back onto the optimum; push the other way
+			current = clampIndex(p, bi-shift)
+		}
+		if current != bi {
+			cause = CauseStaleTrial
+		}
+	}
+	return optimal, current, cause
+}
+
+// buildGroundTruth fills Current, Optimal and Causes for every carrier and
+// every X2 relation.
+func (w *World) buildGroundTruth(r *rng.RNG) {
+	schema := w.Schema
+	w.Current = lte.NewConfig(schema, len(w.Net.Carriers))
+	w.Optimal = lte.NewConfig(schema, len(w.Net.Carriers))
+
+	deps := make([][]int, schema.Len())
+	for i := range deps {
+		deps[i] = w.TrueDependencies(i)
+	}
+	trialRNG := r.Fork("trials")
+
+	for ci := range w.Net.Carriers {
+		c := &w.Net.Carriers[ci]
+		cluster := w.ENodeBCluster[c.ENodeB]
+		attrs := c.AttributeVector()
+		for _, pi := range schema.Singular() {
+			p := schema.At(pi)
+			opt, cur, cause := w.truthValue(p, deps[pi], attrs, c.Market, cluster, c.Terrain, trialRNG)
+			w.Optimal.Set(c.ID, pi, p.ValueAt(opt))
+			w.Current.Set(c.ID, pi, p.ValueAt(cur))
+			if cause != CauseNormal {
+				w.Causes[CauseKey{From: c.ID, To: -1, Param: pi}] = cause
+			}
+		}
+		for _, nb := range w.X2.CarrierNeighbors(c.ID) {
+			pairAttrs := lte.PairAttributeVector(c, &w.Net.Carriers[nb])
+			for _, pi := range schema.PairWise() {
+				p := schema.At(pi)
+				opt, cur, cause := w.truthValue(p, deps[pi], pairAttrs, c.Market, cluster, c.Terrain, trialRNG)
+				w.Optimal.SetPair(c.ID, nb, pi, p.ValueAt(opt))
+				w.Current.SetPair(c.ID, nb, pi, p.ValueAt(cur))
+				if cause != CauseNormal {
+					w.Causes[CauseKey{From: c.ID, To: nb, Param: pi}] = cause
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package onehot implements the one-hot encoding of Sec 3.1: nominal
+// attribute (and parameter) values are translated into binary indicator
+// columns, one per observed category, so that "if a vector x takes values
+// a, b and c, one-hot encoding creates three vectors x=a, x=b and x=c, and
+// the carrier with value b has values 0, 1, 0".
+package onehot
+
+import "fmt"
+
+type column struct {
+	name       string
+	categories []string
+	index      map[string]int
+	offset     int // first output column of this block
+}
+
+// Encoder maps rows of categorical string values to dense binary vectors.
+// Build one with Fit; a fitted encoder is safe for concurrent Transform
+// calls.
+type Encoder struct {
+	cols  []column
+	width int
+}
+
+// Fit learns the category vocabulary of each input column from rows.
+// names supplies one name per input column (used for feature naming) and
+// must match the row width. Categories are numbered in first-seen order,
+// which is deterministic for a deterministic input order.
+func Fit(names []string, rows [][]string) *Encoder {
+	e := &Encoder{cols: make([]column, len(names))}
+	for i, n := range names {
+		e.cols[i] = column{name: n, index: make(map[string]int)}
+	}
+	for _, row := range rows {
+		if len(row) != len(names) {
+			panic(fmt.Sprintf("onehot: row width %d, want %d", len(row), len(names)))
+		}
+		for i, v := range row {
+			c := &e.cols[i]
+			if _, ok := c.index[v]; !ok {
+				c.index[v] = len(c.categories)
+				c.categories = append(c.categories, v)
+			}
+		}
+	}
+	off := 0
+	for i := range e.cols {
+		e.cols[i].offset = off
+		off += len(e.cols[i].categories)
+	}
+	e.width = off
+	return e
+}
+
+// Width reports the number of output columns (the total category count).
+func (e *Encoder) Width() int { return e.width }
+
+// NumInputs reports the number of input columns.
+func (e *Encoder) NumInputs() int { return len(e.cols) }
+
+// Transform encodes one row. Unseen categories encode as an all-zero block
+// for their column, which is the natural "no match" representation for a
+// new carrier whose attribute value was never observed (Sec 6,
+// "bootstrapping configuration for the unobserved").
+func (e *Encoder) Transform(row []string) []float64 {
+	out := make([]float64, e.width)
+	e.TransformTo(out, row)
+	return out
+}
+
+// TransformTo encodes one row into dst, which must have length Width().
+// dst is zeroed first.
+func (e *Encoder) TransformTo(dst []float64, row []string) {
+	if len(row) != len(e.cols) {
+		panic(fmt.Sprintf("onehot: row width %d, want %d", len(row), len(e.cols)))
+	}
+	if len(dst) != e.width {
+		panic(fmt.Sprintf("onehot: dst width %d, want %d", len(dst), e.width))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, v := range row {
+		c := &e.cols[i]
+		if j, ok := c.index[v]; ok {
+			dst[c.offset+j] = 1
+		}
+	}
+}
+
+// TransformAll encodes a batch of rows into a dense row-major buffer of
+// shape len(rows) x Width().
+func (e *Encoder) TransformAll(rows [][]string) []float64 {
+	out := make([]float64, len(rows)*e.width)
+	for i, row := range rows {
+		e.TransformTo(out[i*e.width:(i+1)*e.width], row)
+	}
+	return out
+}
+
+// FeatureNames returns the output column names in encoding order, formed
+// as "column=category".
+func (e *Encoder) FeatureNames() []string {
+	out := make([]string, 0, e.width)
+	for _, c := range e.cols {
+		for _, cat := range c.categories {
+			out = append(out, c.name+"="+cat)
+		}
+	}
+	return out
+}
+
+// FeatureColumn identifies the input column index that produced output
+// column j.
+func (e *Encoder) FeatureColumn(j int) int {
+	for i := len(e.cols) - 1; i >= 0; i-- {
+		if j >= e.cols[i].offset {
+			return i
+		}
+	}
+	return -1
+}
+
+// Categories returns the category vocabulary of input column i, in
+// encoding order.
+func (e *Encoder) Categories(i int) []string {
+	out := make([]string, len(e.cols[i].categories))
+	copy(out, e.cols[i].categories)
+	return out
+}

@@ -1,0 +1,169 @@
+package onehot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"auric/internal/rng"
+)
+
+func fitSample() *Encoder {
+	rows := [][]string{
+		{"urban", "700"},
+		{"suburban", "1900"},
+		{"rural", "700"},
+		{"urban", "2100"},
+	}
+	return Fit([]string{"morphology", "freq"}, rows)
+}
+
+func TestWidthAndNames(t *testing.T) {
+	e := fitSample()
+	if e.Width() != 6 { // 3 morphologies + 3 frequencies
+		t.Fatalf("Width = %d, want 6", e.Width())
+	}
+	if e.NumInputs() != 2 {
+		t.Fatalf("NumInputs = %d", e.NumInputs())
+	}
+	names := e.FeatureNames()
+	want := []string{"morphology=urban", "morphology=suburban", "morphology=rural",
+		"freq=700", "freq=1900", "freq=2100"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("feature %d = %q, want %q", i, names[i], w)
+		}
+	}
+}
+
+func TestTransformPaperExample(t *testing.T) {
+	// Sec 4.2: a vector with values a, b, c; the carrier with value b
+	// encodes as 0, 1, 0.
+	e := Fit([]string{"x"}, [][]string{{"a"}, {"b"}, {"c"}})
+	got := e.Transform([]string{"b"})
+	want := []float64{0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Transform(b) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBlockSumsToOne(t *testing.T) {
+	// Sec 4.2: "the sum of the one-hot numeric array for a particular
+	// carrier should be equal to 1" — per attribute block.
+	e := fitSample()
+	v := e.Transform([]string{"rural", "2100"})
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum != 2 { // one per input column
+		t.Errorf("total activation = %v, want 2 (1 per column)", sum)
+	}
+	if v[2] != 1 || v[5] != 1 {
+		t.Errorf("wrong positions: %v", v)
+	}
+}
+
+func TestUnseenCategoryIsZeroBlock(t *testing.T) {
+	e := fitSample()
+	v := e.Transform([]string{"urban", "850"}) // 850 never observed
+	if v[0] != 1 {
+		t.Error("seen category not encoded")
+	}
+	for i := 3; i < 6; i++ {
+		if v[i] != 0 {
+			t.Errorf("unseen category produced non-zero at %d: %v", i, v)
+		}
+	}
+}
+
+func TestTransformToReusesBuffer(t *testing.T) {
+	e := fitSample()
+	buf := make([]float64, e.Width())
+	for i := range buf {
+		buf[i] = 7 // garbage that must be cleared
+	}
+	e.TransformTo(buf, []string{"urban", "700"})
+	sum := 0.0
+	for _, x := range buf {
+		sum += x
+	}
+	if sum != 2 {
+		t.Errorf("TransformTo did not zero the buffer: %v", buf)
+	}
+}
+
+func TestTransformAll(t *testing.T) {
+	e := fitSample()
+	rows := [][]string{{"urban", "700"}, {"rural", "1900"}}
+	flat := e.TransformAll(rows)
+	if len(flat) != 2*e.Width() {
+		t.Fatalf("TransformAll length %d", len(flat))
+	}
+	if flat[0] != 1 || flat[e.Width()+2] != 1 {
+		t.Error("TransformAll rows mis-encoded")
+	}
+}
+
+func TestFeatureColumn(t *testing.T) {
+	e := fitSample()
+	for j := 0; j < 3; j++ {
+		if e.FeatureColumn(j) != 0 {
+			t.Errorf("FeatureColumn(%d) = %d, want 0", j, e.FeatureColumn(j))
+		}
+	}
+	for j := 3; j < 6; j++ {
+		if e.FeatureColumn(j) != 1 {
+			t.Errorf("FeatureColumn(%d) = %d, want 1", j, e.FeatureColumn(j))
+		}
+	}
+}
+
+func TestCategoriesCopy(t *testing.T) {
+	e := fitSample()
+	cats := e.Categories(0)
+	cats[0] = "mutated"
+	if e.Categories(0)[0] != "urban" {
+		t.Error("Categories returned a live reference")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	e := fitSample()
+	defer func() {
+		if recover() == nil {
+			t.Error("short row did not panic")
+		}
+	}()
+	e.Transform([]string{"urban"})
+}
+
+func TestPropertyExactlyOneHotPerSeenColumn(t *testing.T) {
+	// Property: for rows drawn from the fitted vocabulary, every column
+	// block has exactly one active bit, at the right category.
+	r := rng.New(99)
+	vocabA := []string{"a", "b", "c", "d"}
+	vocabB := []string{"x", "y"}
+	var rows [][]string
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []string{rng.Pick(r, vocabA), rng.Pick(r, vocabB)})
+	}
+	e := Fit([]string{"A", "B"}, rows)
+	f := func(ai, bi uint8) bool {
+		row := []string{vocabA[int(ai)%len(vocabA)], vocabB[int(bi)%len(vocabB)]}
+		v := e.Transform(row)
+		ones := 0
+		for _, x := range v {
+			if x == 1 {
+				ones++
+			} else if x != 0 {
+				return false
+			}
+		}
+		return ones == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

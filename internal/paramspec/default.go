@@ -1,0 +1,165 @@
+package paramspec
+
+// Default returns the 65-parameter schema used throughout the reproduction:
+// 39 singular and 26 pair-wise range parameters, mirroring the split the
+// paper reports (Sec 4.1). The named parameters from Sec 2.2 (sFreqPrio,
+// hysA3Offset, pMax, qRxLevMin, inactivityTimer) and the capacity threshold
+// from Sec 1 appear with the paper's exact ranges and step sizes; the rest
+// are modeled on standard E-UTRAN managed-object parameters with plausible
+// ranges.
+func Default() *Schema { return NewSchema(defaultParams()) }
+
+func defaultParams() []Param {
+	return []Param{
+		// --- Singular parameters (39) -----------------------------------
+
+		// Layer / capacity management.
+		{Name: "sFreqPrio", Kind: Singular, Category: LayerManagement, Min: 1, Max: 10000, Step: 1,
+			Doc: "uplink-load based priority between candidate carriers; 1 is highest"},
+		{Name: "capacityThreshold", Kind: Singular, Category: CapacityManagement, Min: 0, Max: 100, Step: 1, Unit: "%",
+			Doc: "capacity threshold controlling load-balancing actions across carriers"},
+		{Name: "lbCeiling", Kind: Singular, Category: CapacityManagement, Min: 0, Max: 100, Step: 5, Unit: "%",
+			Doc: "maximum load accepted from inter-frequency load balancing"},
+		{Name: "lbThreshold", Kind: Singular, Category: CapacityManagement, Min: 0, Max: 100, Step: 5, Unit: "%",
+			Doc: "load level that arms inter-frequency load balancing"},
+		{Name: "iflbMeasInterval", Kind: Singular, Category: CapacityManagement, Min: 100, Max: 5000, Step: 100, Unit: "ms",
+			Doc: "interval between inter-frequency load measurements"},
+		{Name: "highLoadThreshold", Kind: Singular, Category: CongestionControl, Min: 50, Max: 100, Step: 1, Unit: "%",
+			Doc: "PRB utilization above which the cell is declared high-load"},
+		{Name: "mediumLoadThreshold", Kind: Singular, Category: CongestionControl, Min: 10, Max: 90, Step: 1, Unit: "%",
+			Doc: "PRB utilization above which the cell is declared medium-load"},
+		{Name: "dlSchedulerQuantum", Kind: Singular, Category: Scheduling, Min: 1, Max: 64, Step: 1,
+			Doc: "downlink scheduler round-robin quantum in resource-block groups"},
+		{Name: "ulSchedulerQuantum", Kind: Singular, Category: Scheduling, Min: 1, Max: 64, Step: 1,
+			Doc: "uplink scheduler round-robin quantum in resource-block groups"},
+		{Name: "schedulingWeightGbr", Kind: Singular, Category: Scheduling, Min: 0, Max: 100, Step: 5,
+			Doc: "relative scheduler weight of GBR bearers"},
+
+		// Power control.
+		{Name: "pMax", Kind: Singular, Category: PowerControl, Min: 0, Max: 60, Step: 0.6, Unit: "dBm",
+			Doc: "maximum linear-sum output power across all downlink resources"},
+		{Name: "pZeroNominalPusch", Kind: Singular, Category: PowerControl, Min: -126, Max: 24, Step: 2, Unit: "dBm",
+			Doc: "nominal PUSCH receive power target"},
+		{Name: "pZeroNominalPucch", Kind: Singular, Category: PowerControl, Min: -127, Max: -96, Step: 1, Unit: "dBm",
+			Doc: "nominal PUCCH receive power target"},
+		{Name: "alphaPathloss", Kind: Singular, Category: PowerControl, Min: 0, Max: 1, Step: 0.1,
+			Doc: "fractional path-loss compensation factor for uplink power control"},
+		{Name: "referenceSignalPower", Kind: Singular, Category: PowerControl, Min: -60, Max: 50, Step: 1, Unit: "dBm",
+			Doc: "energy per resource element of the cell reference signal"},
+		{Name: "pBoost", Kind: Singular, Category: PowerControl, Min: 0, Max: 6, Step: 0.5, Unit: "dB",
+			Doc: "reference-signal power boost relative to PDSCH"},
+
+		// Radio connection management.
+		{Name: "qRxLevMin", Kind: Singular, Category: RadioConnection, Min: -156, Max: -44, Step: 2, Unit: "dBm",
+			Doc: "minimum required RSRP receive level in the carrier"},
+		{Name: "qQualMin", Kind: Singular, Category: RadioConnection, Min: -34, Max: -3, Step: 1, Unit: "dB",
+			Doc: "minimum required RSRQ quality level in the carrier"},
+		{Name: "inactivityTimer", Kind: Singular, Category: RadioConnection, Min: 1, Max: 65535, Step: 1, Unit: "s",
+			Doc: "user-inactivity indication period in both downlink and uplink"},
+		{Name: "t300", Kind: Singular, Category: RadioConnection, Min: 100, Max: 2000, Step: 100, Unit: "ms",
+			Doc: "RRC connection request retransmission timer"},
+		{Name: "t301", Kind: Singular, Category: RadioConnection, Min: 100, Max: 2000, Step: 100, Unit: "ms",
+			Doc: "RRC connection re-establishment timer"},
+		{Name: "t310", Kind: Singular, Category: RadioConnection, Min: 0, Max: 2000, Step: 50, Unit: "ms",
+			Doc: "radio-link failure detection timer"},
+		{Name: "n310", Kind: Singular, Category: RadioConnection, Min: 1, Max: 20, Step: 1,
+			Doc: "consecutive out-of-sync indications before starting t310"},
+		{Name: "ueInactiveTimer", Kind: Singular, Category: RadioConnection, Min: 5, Max: 3600, Step: 5, Unit: "s",
+			Doc: "eNodeB-side user context inactivity release timer"},
+		{Name: "drxInactivityTimer", Kind: Singular, Category: RadioConnection, Min: 1, Max: 2560, Step: 1, Unit: "subframes",
+			Doc: "DRX inactivity timer before entering short-DRX"},
+		{Name: "drxLongCycle", Kind: Singular, Category: RadioConnection, Min: 10, Max: 2560, Step: 10, Unit: "subframes",
+			Doc: "long DRX cycle length"},
+
+		// Link adaptation.
+		{Name: "initialCqi", Kind: Singular, Category: LinkAdaptation, Min: 1, Max: 15, Step: 1,
+			Doc: "CQI assumed for the first downlink transmission"},
+		{Name: "dlTargetBler", Kind: Singular, Category: LinkAdaptation, Min: 1, Max: 30, Step: 1, Unit: "%",
+			Doc: "downlink block-error-rate target for outer-loop link adaptation"},
+		{Name: "ulTargetBler", Kind: Singular, Category: LinkAdaptation, Min: 1, Max: 30, Step: 1, Unit: "%",
+			Doc: "uplink block-error-rate target for outer-loop link adaptation"},
+		{Name: "olqcStepUp", Kind: Singular, Category: LinkAdaptation, Min: 0.1, Max: 2, Step: 0.1, Unit: "dB",
+			Doc: "outer-loop quality control upward adjustment step"},
+
+		// Interference management.
+		{Name: "ulInterferenceTarget", Kind: Singular, Category: InterferenceManagement, Min: -120, Max: -80, Step: 1, Unit: "dBm",
+			Doc: "uplink noise-rise interference target"},
+		{Name: "icicThreshold", Kind: Singular, Category: InterferenceManagement, Min: 0, Max: 100, Step: 5, Unit: "%",
+			Doc: "cell-edge resource threshold for inter-cell interference coordination"},
+		{Name: "crsGain", Kind: Singular, Category: InterferenceManagement, Min: -6, Max: 6, Step: 1, Unit: "dB",
+			Doc: "cell reference-signal gain offset used for interference shaping"},
+
+		// Congestion / admission.
+		{Name: "admissionThreshold", Kind: Singular, Category: CongestionControl, Min: 0, Max: 100, Step: 1, Unit: "%",
+			Doc: "PRB utilization above which new admissions are throttled"},
+		{Name: "arpPreemptionLimit", Kind: Singular, Category: CongestionControl, Min: 1, Max: 15, Step: 1,
+			Doc: "allocation-retention priority limit for pre-emption"},
+		{Name: "rachBackoff", Kind: Singular, Category: CongestionControl, Min: 0, Max: 960, Step: 10, Unit: "ms",
+			Doc: "random-access backoff indicator under congestion"},
+
+		// Layer management (idle-mode steering).
+		{Name: "cellReselectionPriority", Kind: Singular, Category: LayerManagement, Min: 0, Max: 7, Step: 1,
+			Doc: "absolute idle-mode reselection priority of the carrier frequency"},
+		{Name: "threshServingLow", Kind: Singular, Category: LayerManagement, Min: 0, Max: 62, Step: 2, Unit: "dB",
+			Doc: "serving-frequency threshold for reselection to lower priority"},
+		{Name: "sIntraSearch", Kind: Singular, Category: LayerManagement, Min: 0, Max: 62, Step: 2, Unit: "dB",
+			Doc: "threshold below which intra-frequency measurements start"},
+
+		// --- Pair-wise parameters (26) -----------------------------------
+		// Configured per (carrier, neighbor) relation; used for mobility and
+		// handovers (Sec 4.1: 26 of the 65 parameters are pair-wise).
+
+		{Name: "hysA3Offset", Kind: PairWise, Category: Mobility, Min: 0, Max: 15, Step: 0.5, Unit: "dB",
+			Doc: "handover margin for intra-frequency A3-event handovers"},
+		{Name: "a3Offset", Kind: PairWise, Category: Mobility, Min: -15, Max: 15, Step: 0.5, Unit: "dB",
+			Doc: "neighbor-better-than-serving offset for event A3"},
+		{Name: "a3TimeToTrigger", Kind: PairWise, Category: Mobility, Min: 0, Max: 5120, Step: 40, Unit: "ms",
+			Doc: "time-to-trigger for event A3 handovers"},
+		{Name: "a5Threshold1Rsrp", Kind: PairWise, Category: Mobility, Min: -140, Max: -44, Step: 2, Unit: "dBm",
+			Doc: "serving-cell RSRP threshold 1 for event A5"},
+		{Name: "a5Threshold2Rsrp", Kind: PairWise, Category: Mobility, Min: -140, Max: -44, Step: 2, Unit: "dBm",
+			Doc: "neighbor-cell RSRP threshold 2 for event A5"},
+		{Name: "a5TimeToTrigger", Kind: PairWise, Category: Mobility, Min: 0, Max: 5120, Step: 40, Unit: "ms",
+			Doc: "time-to-trigger for event A5 handovers"},
+		{Name: "cellIndividualOffset", Kind: PairWise, Category: Mobility, Min: -24, Max: 24, Step: 1, Unit: "dB",
+			Doc: "per-neighbor measurement offset applied during event evaluation"},
+		{Name: "qOffsetCell", Kind: PairWise, Category: Mobility, Min: -24, Max: 24, Step: 1, Unit: "dB",
+			Doc: "per-neighbor reselection offset broadcast in system information"},
+		{Name: "hoMarginRsrp", Kind: PairWise, Category: Mobility, Min: -11.5, Max: 11.5, Step: 0.5, Unit: "dB",
+			Doc: "RSRP handover margin towards the neighbor"},
+		{Name: "hoMarginRsrq", Kind: PairWise, Category: Mobility, Min: -11.5, Max: 11.5, Step: 0.5, Unit: "dB",
+			Doc: "RSRQ handover margin towards the neighbor"},
+		{Name: "b2Threshold1Rsrp", Kind: PairWise, Category: Mobility, Min: -140, Max: -44, Step: 2, Unit: "dBm",
+			Doc: "serving threshold for inter-RAT event B2"},
+		{Name: "b2Threshold2", Kind: PairWise, Category: Mobility, Min: -140, Max: -44, Step: 2, Unit: "dBm",
+			Doc: "neighbor threshold for inter-RAT event B2"},
+		{Name: "timeToTriggerB2", Kind: PairWise, Category: Mobility, Min: 0, Max: 5120, Step: 40, Unit: "ms",
+			Doc: "time-to-trigger for event B2"},
+		{Name: "hoPrepTimeout", Kind: PairWise, Category: Mobility, Min: 50, Max: 2000, Step: 50, Unit: "ms",
+			Doc: "X2 handover preparation timeout towards the neighbor"},
+		{Name: "hoExecTimeout", Kind: PairWise, Category: Mobility, Min: 50, Max: 2000, Step: 50, Unit: "ms",
+			Doc: "X2 handover execution timeout towards the neighbor"},
+		{Name: "hoMaxRetries", Kind: PairWise, Category: Mobility, Min: 0, Max: 10, Step: 1,
+			Doc: "maximum handover preparation retries towards the neighbor"},
+		{Name: "ifHoThreshold", Kind: PairWise, Category: Mobility, Min: -140, Max: -44, Step: 2, Unit: "dBm",
+			Doc: "inter-frequency handover RSRP threshold towards the neighbor layer"},
+		{Name: "ifHoHysteresis", Kind: PairWise, Category: Mobility, Min: 0, Max: 15, Step: 0.5, Unit: "dB",
+			Doc: "inter-frequency handover hysteresis towards the neighbor layer"},
+		{Name: "lbHoOffset", Kind: PairWise, Category: CapacityManagement, Min: 0, Max: 20, Step: 1, Unit: "dB",
+			Doc: "extra offset applied to load-balancing triggered handovers"},
+		{Name: "lbHoQuota", Kind: PairWise, Category: CapacityManagement, Min: 0, Max: 100, Step: 5,
+			Doc: "per-interval quota of load-balancing handovers towards the neighbor"},
+		{Name: "anrPciConfidence", Kind: PairWise, Category: Mobility, Min: 0, Max: 100, Step: 5, Unit: "%",
+			Doc: "automatic-neighbor-relation confidence required before X2 setup"},
+		{Name: "drxOffsetToNeighbor", Kind: PairWise, Category: Mobility, Min: 0, Max: 10, Step: 1, Unit: "subframes",
+			Doc: "DRX alignment offset negotiated with the neighbor"},
+		{Name: "x2ForwardingBudget", Kind: PairWise, Category: Mobility, Min: 0, Max: 1000, Step: 10, Unit: "ms",
+			Doc: "downlink data forwarding budget during lossless handover"},
+		{Name: "rlfRecoveryOffset", Kind: PairWise, Category: Mobility, Min: 0, Max: 15, Step: 0.5, Unit: "dB",
+			Doc: "offset applied when re-establishing towards this neighbor after RLF"},
+		{Name: "earlyHoOffset", Kind: PairWise, Category: Mobility, Min: 0, Max: 10, Step: 0.5, Unit: "dB",
+			Doc: "offset advancing handover for high-speed users towards the neighbor"},
+		{Name: "lateHoOffset", Kind: PairWise, Category: Mobility, Min: 0, Max: 10, Step: 0.5, Unit: "dB",
+			Doc: "offset delaying handover for cell-edge ping-pong suppression"},
+	}
+}

@@ -1,0 +1,98 @@
+// Package report renders experiment results as aligned ASCII tables and
+// bar series for terminal output — the textual equivalent of the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders an aligned text table with a header row.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Bars renders a labeled horizontal bar chart. Values are scaled so the
+// longest bar spans width runes (default 40 when width <= 0).
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s | %s %.6g\n", maxL, labels[i], strings.Repeat("█", n), v)
+	}
+	return sb.String()
+}
+
+// Percent formats a ratio as a percentage with two decimals.
+func Percent(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }
+
+// Count formats an integer with thousands separators.
+func Count(n int) string {
+	s := fmt.Sprint(n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

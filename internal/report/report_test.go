@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// All rows align: the value column starts at the same offset.
+	idx := strings.Index(lines[0], "value")
+	for _, l := range lines[2:] {
+		if len(l) < idx {
+			t.Fatalf("row %q shorter than header", l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestBarsScaling(t *testing.T) {
+	out := Bars("title", []string{"a", "b"}, []float64{10, 5}, 10)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	aBars := strings.Count(lines[1], "█")
+	bBars := strings.Count(lines[2], "█")
+	if aBars != 10 || bBars != 5 {
+		t.Errorf("bar lengths = %d/%d, want 10/5", aBars, bBars)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("", []string{"x"}, []float64{0}, 10)
+	if strings.Count(out, "█") != 0 {
+		t.Error("zero value produced bars")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.9614); got != "96.14%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{4528139, "4,528,139"},
+		{-1234, "-1,234"},
+	}
+	for _, tc := range tests {
+		if got := Count(tc.n); got != tc.want {
+			t.Errorf("Count(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

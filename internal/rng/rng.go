@@ -1,0 +1,132 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the synthetic network generator and the learners.
+//
+// The generator is splitmix64 (Steele et al., "Fast splittable pseudorandom
+// number generators"), chosen because it is trivially seedable, passes
+// statistical tests far beyond what this repository needs, and — unlike
+// math/rand's global state — makes every experiment reproducible
+// bit-for-bit from a single seed. Streams can be forked with Fork so that
+// independent subsystems (placement, tuning, noise) draw from independent
+// sequences and adding draws to one subsystem does not perturb another.
+package rng
+
+import "math"
+
+// RNG is a deterministic random stream. The zero value is a valid stream
+// seeded with 0; use New for explicit seeding.
+type RNG struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Fork derives an independent stream from the current one, keyed by label
+// so that forks for different purposes are decorrelated even when taken at
+// the same point.
+func (r *RNG) Fork(label string) *RNG {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return &RNG{state: r.Uint64() ^ h}
+}
+
+// Uint64 returns the next value of the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// simple modulo bias is ~2^-40 for the ranges we use, but keep the
+	// rejection loop for correctness.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the pair's second value is discarded for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element of choices. It panics on an
+// empty slice.
+func Pick[T any](r *RNG, choices []T) T {
+	return choices[r.Intn(len(choices))]
+}
+
+// PickWeighted returns an index into weights chosen with probability
+// proportional to the weight. Zero and negative weights never win unless
+// all weights are non-positive, in which case index 0 is returned.
+func (r *RNG) PickWeighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

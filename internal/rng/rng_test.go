@@ -1,0 +1,148 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	r := New(7)
+	f1 := r.Fork("placement")
+	r2 := New(7)
+	f2 := r2.Fork("tuning")
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forks with different labels produced identical first draws")
+	}
+	// Same label and same parent state must agree.
+	g1 := New(9).Fork("x")
+	g2 := New(9).Fork("x")
+	if g1.Uint64() != g2.Uint64() {
+		t.Error("forks with same label/parent disagreed")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(3)
+	n := 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(4)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(5)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.PickWeighted(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	if got := r.PickWeighted([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero weights: got %d, want 0", got)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(6)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < 2250 || hits > 2750 {
+		t.Errorf("Bool(0.25) hit %d/10000, want ~2500", hits)
+	}
+}
+
+func TestPickGeneric(t *testing.T) {
+	r := New(8)
+	choices := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, choices)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick over 100 draws saw %d/3 choices", len(seen))
+	}
+}

@@ -1,0 +1,224 @@
+// Package rulebook models the operational practice Auric replaces
+// (Sec 2.4): rule-books that map carrier attributes to default parameter
+// values, and the SON (self-organizing network) compliance layer that can
+// verify ranges and assign defaults but "cannot replicate human intuition
+// to be able to assign from a range".
+//
+// The package serves two roles in the reproduction: it is the baseline
+// Auric is compared against, and it generates the vendor-produced initial
+// configurations that the SmartLaunch controller diffs Auric's
+// recommendations against (Sec 5).
+package rulebook
+
+import (
+	"fmt"
+	"sort"
+
+	"auric/internal/dataset"
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+)
+
+// Rule maps an attribute pattern to a default value for one parameter.
+type Rule struct {
+	// Param is the parameter name the rule configures.
+	Param string
+	// Match lists attribute requirements (name -> value); all must hold.
+	// An empty Match is a catch-all default.
+	Match map[string]string
+	// Value is the default the rule assigns.
+	Value float64
+}
+
+// Specificity orders rules: more matched attributes win.
+func (r *Rule) Specificity() int { return len(r.Match) }
+
+// Rulebook is an ordered set of rules for one vendor.
+type Rulebook struct {
+	Vendor string
+	Rules  []Rule
+}
+
+// Lookup returns the value of the most specific rule matching the
+// attributes, and whether any rule matched. Ties between equally specific
+// rules resolve to the first in rulebook order, mirroring how engineers
+// order rule-book entries.
+func (rb *Rulebook) Lookup(param string, attrs map[string]string) (float64, bool) {
+	best := -1
+	var bestVal float64
+	for i := range rb.Rules {
+		r := &rb.Rules[i]
+		if r.Param != param {
+			continue
+		}
+		ok := true
+		for k, v := range r.Match {
+			if attrs[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok && r.Specificity() > best {
+			best = r.Specificity()
+			bestVal = r.Value
+		}
+	}
+	return bestVal, best >= 0
+}
+
+// ParamsCovered lists the parameter names with at least one rule.
+func (rb *Rulebook) ParamsCovered() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range rb.Rules {
+		if !seen[rb.Rules[i].Param] {
+			seen[rb.Rules[i].Param] = true
+			out = append(out, rb.Rules[i].Param)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InferOptions controls rulebook mining.
+type InferOptions struct {
+	// Keys are the attribute names rules may condition on; nil means
+	// frequency + morphology, the axes real rule-books are written along.
+	Keys []string
+	// MinSupport is the minimum sample count for a specific rule; combos
+	// with fewer samples fall through to the catch-all. Zero means 10.
+	MinSupport int
+}
+
+// Infer mines a simple rule-book from a learning table: a catch-all
+// majority default per parameter plus one rule per well-supported
+// (frequency, morphology) combination. This is deliberately as coarse as
+// real rule-books — it captures the rule layer of the ground truth but
+// none of the local tuning, which is exactly the gap Auric closes.
+func Infer(t *dataset.Table, vendor string, opts InferOptions) *Rulebook {
+	if opts.Keys == nil {
+		opts.Keys = []string{"carrierFrequency", "morphology"}
+	}
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 10
+	}
+	colOf := map[string]int{}
+	for i, n := range t.ColNames {
+		colOf[n] = i
+	}
+	var keyCols []int
+	for _, k := range opts.Keys {
+		c, ok := colOf[k]
+		if !ok {
+			continue
+		}
+		keyCols = append(keyCols, c)
+	}
+
+	rb := &Rulebook{Vendor: vendor}
+	// Catch-all: global majority value.
+	global := majorityValue(t.Values, nil)
+	rb.Rules = append(rb.Rules, Rule{Param: t.Spec.Name, Match: map[string]string{}, Value: global})
+
+	// Per-combo rules.
+	groups := map[string][]int{}
+	for i := range t.Rows {
+		k := ""
+		for _, c := range keyCols {
+			k += t.Rows[i][c] + "\x1f"
+		}
+		groups[k] = append(groups[k], i)
+	}
+	var keys []string
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		idx := groups[k]
+		if len(idx) < opts.MinSupport {
+			continue
+		}
+		match := map[string]string{}
+		for _, c := range keyCols {
+			match[t.ColNames[c]] = t.Rows[idx[0]][c]
+		}
+		rb.Rules = append(rb.Rules, Rule{
+			Param: t.Spec.Name,
+			Match: match,
+			Value: majorityValue(t.Values, idx),
+		})
+	}
+	return rb
+}
+
+// majorityValue returns the most frequent value among Values[idx] (all
+// rows when idx is nil), ties to the smallest value.
+func majorityValue(values []float64, idx []int) float64 {
+	counts := map[float64]int{}
+	if idx == nil {
+		for _, v := range values {
+			counts[v]++
+		}
+	} else {
+		for _, i := range idx {
+			counts[values[i]]++
+		}
+	}
+	best, bestN := 0.0, -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// Violation is a range-compliance failure found by SON verification.
+type Violation struct {
+	Carrier lte.CarrierID
+	Param   string
+	Value   float64
+	Reason  string
+}
+
+// SON is the compliance layer: it can verify that configured values lie on
+// each parameter's grid and assign rule-book defaults, and nothing more
+// (Sec 2.4).
+type SON struct {
+	Schema *paramspec.Schema
+}
+
+// VerifyCarrier checks every singular value of one carrier against the
+// schema grid.
+func (s *SON) VerifyCarrier(cfg *lte.Config, id lte.CarrierID) []Violation {
+	var out []Violation
+	for _, pi := range s.Schema.Singular() {
+		p := s.Schema.At(pi)
+		v := cfg.Get(id, pi)
+		if !p.Valid(v) {
+			out = append(out, Violation{
+				Carrier: id, Param: p.Name, Value: v,
+				Reason: fmt.Sprintf("off grid [%v,%v] step %v", p.Min, p.Max, p.Step),
+			})
+		}
+	}
+	return out
+}
+
+// AssignDefaults produces the SON-style initial configuration for a new
+// carrier: the rule-book value for every covered parameter, quantized to
+// the grid. Parameters without rules fall back to the parameter minimum —
+// SON has no way to choose from a range (Sec 2.4).
+func (s *SON) AssignDefaults(rb *Rulebook, attrs map[string]string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, pi := range s.Schema.Singular() {
+		p := s.Schema.At(pi)
+		if v, ok := rb.Lookup(p.Name, attrs); ok {
+			out[p.Name] = p.Quantize(v)
+		} else {
+			out[p.Name] = p.Min
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package rulebook
+
+import (
+	"testing"
+
+	"auric/internal/dataset"
+	"auric/internal/lte"
+	"auric/internal/netsim"
+	"auric/internal/paramspec"
+)
+
+func TestLookupSpecificity(t *testing.T) {
+	rb := &Rulebook{Vendor: "VendorA", Rules: []Rule{
+		{Param: "pMax", Match: map[string]string{}, Value: 30},
+		{Param: "pMax", Match: map[string]string{"morphology": "urban"}, Value: 24},
+		{Param: "pMax", Match: map[string]string{"morphology": "urban", "carrierFrequency": "700"}, Value: 18},
+		{Param: "other", Match: map[string]string{}, Value: 1},
+	}}
+	tests := []struct {
+		attrs map[string]string
+		want  float64
+	}{
+		{map[string]string{"morphology": "rural"}, 30},
+		{map[string]string{"morphology": "urban"}, 24},
+		{map[string]string{"morphology": "urban", "carrierFrequency": "700"}, 18},
+		{map[string]string{"morphology": "urban", "carrierFrequency": "1900"}, 24},
+	}
+	for _, tc := range tests {
+		got, ok := rb.Lookup("pMax", tc.attrs)
+		if !ok || got != tc.want {
+			t.Errorf("Lookup(pMax, %v) = %v/%v, want %v", tc.attrs, got, ok, tc.want)
+		}
+	}
+	if _, ok := rb.Lookup("missing", nil); ok {
+		t.Error("Lookup found a rule for an uncovered parameter")
+	}
+	if covered := rb.ParamsCovered(); len(covered) != 2 {
+		t.Errorf("ParamsCovered = %v", covered)
+	}
+}
+
+func TestInferProducesWorkingRulebook(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 11, Markets: 2, ENodeBsPerMarket: 20})
+	pi := w.Schema.IndexOf("capacityThreshold")
+	tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+	rb := Infer(tb, "VendorA", InferOptions{})
+	if len(rb.Rules) < 2 {
+		t.Fatalf("inferred only %d rules", len(rb.Rules))
+	}
+	// The rulebook should predict the majority value per (freq, morph)
+	// combo; measure its accuracy as a baseline. It must beat random but
+	// is expected to miss the local tuning Auric captures.
+	hit := 0
+	for i, row := range tb.Rows {
+		attrs := map[string]string{}
+		for c, n := range tb.ColNames {
+			attrs[n] = row[c]
+		}
+		if v, ok := rb.Lookup("capacityThreshold", attrs); ok && v == tb.Values[i] {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(tb.Len())
+	if acc < 0.2 {
+		t.Errorf("rulebook baseline accuracy = %v, implausibly low", acc)
+	}
+	if acc > 0.995 {
+		t.Errorf("rulebook baseline accuracy = %v; generator leaves no room for Auric", acc)
+	}
+}
+
+func TestSONVerifyCarrier(t *testing.T) {
+	schema := paramspec.Default()
+	cfg := lte.NewConfig(schema, 1)
+	son := &SON{Schema: schema}
+	if v := son.VerifyCarrier(cfg, 0); len(v) != 0 {
+		t.Errorf("fresh config has %d violations", len(v))
+	}
+}
+
+func TestSONAssignDefaults(t *testing.T) {
+	schema := paramspec.Default()
+	son := &SON{Schema: schema}
+	rb := &Rulebook{Rules: []Rule{
+		{Param: "pMax", Match: map[string]string{}, Value: 30.1},
+	}}
+	got := son.AssignDefaults(rb, map[string]string{})
+	if len(got) != len(schema.Singular()) {
+		t.Fatalf("AssignDefaults covered %d params", len(got))
+	}
+	p, _ := schema.ByName("pMax")
+	if got["pMax"] != p.Quantize(30.1) {
+		t.Errorf("pMax default = %v", got["pMax"])
+	}
+	// Uncovered parameters fall to the minimum: SON cannot pick from a range.
+	q, _ := schema.ByName("sFreqPrio")
+	if got["sFreqPrio"] != q.Min {
+		t.Errorf("uncovered parameter default = %v, want Min %v", got["sFreqPrio"], q.Min)
+	}
+}

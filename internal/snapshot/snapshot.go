@@ -1,0 +1,185 @@
+// Package snapshot persists network inventories and configuration
+// snapshots as gzipped JSON — the interchange a real deployment would use
+// between the inventory system, Auric, and the launch automation. The
+// ground-truth oracle of generated worlds is deliberately not part of the
+// format: a snapshot carries exactly what an operator has (topology,
+// attributes, current configuration), nothing the generator knows.
+package snapshot
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+)
+
+// fileFormat is bumped on breaking changes.
+const fileFormat = 1
+
+type file struct {
+	Format   int           `json:"format"`
+	Schema   []paramSpec   `json:"schema"`
+	Markets  []lte.Market  `json:"markets"`
+	ENodeBs  []enodeb      `json:"enodebs"`
+	Carriers []lte.Carrier `json:"carriers"`
+	// Singular holds per-carrier values in schema singular order.
+	Singular [][]float64 `json:"singular"`
+	// Pairs holds configured relations.
+	Pairs []pairValues `json:"pairs"`
+}
+
+type paramSpec struct {
+	Name string  `json:"name"`
+	Kind int     `json:"kind"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Step float64 `json:"step"`
+}
+
+type enodeb struct {
+	ID       lte.ENodeBID    `json:"id"`
+	Market   int             `json:"market"`
+	Vendor   string          `json:"vendor"`
+	Lat      float64         `json:"lat"`
+	Lon      float64         `json:"lon"`
+	Carriers []lte.CarrierID `json:"carriers"`
+}
+
+type pairValues struct {
+	From lte.CarrierID `json:"from"`
+	To   lte.CarrierID `json:"to"`
+	// Values in schema pair-wise order.
+	Values []float64 `json:"values"`
+}
+
+// Save writes the network and configuration to path as gzipped JSON.
+func Save(path string, net *lte.Network, cfg *lte.Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := Write(zw, net, cfg); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// Write streams the snapshot to w (uncompressed JSON).
+func Write(w io.Writer, net *lte.Network, cfg *lte.Config) error {
+	schema := cfg.Schema()
+	out := file{Format: fileFormat, Markets: net.Markets, Carriers: net.Carriers}
+	for i := 0; i < schema.Len(); i++ {
+		p := schema.At(i)
+		out.Schema = append(out.Schema, paramSpec{
+			Name: p.Name, Kind: int(p.Kind), Min: p.Min, Max: p.Max, Step: p.Step,
+		})
+	}
+	for i := range net.ENodeBs {
+		e := &net.ENodeBs[i]
+		out.ENodeBs = append(out.ENodeBs, enodeb{
+			ID: e.ID, Market: e.Market, Vendor: e.Vendor,
+			Lat: e.Lat, Lon: e.Lon, Carriers: e.Carriers,
+		})
+	}
+	singularIdx := schema.Singular()
+	out.Singular = make([][]float64, len(net.Carriers))
+	for ci := range net.Carriers {
+		row := make([]float64, len(singularIdx))
+		for j, pi := range singularIdx {
+			row[j] = cfg.Get(lte.CarrierID(ci), pi)
+		}
+		out.Singular[ci] = row
+	}
+	pairIdx := schema.PairWise()
+	for _, edge := range cfg.Edges() {
+		pv := pairValues{From: edge.From, To: edge.To, Values: make([]float64, len(pairIdx))}
+		for j, pi := range pairIdx {
+			v, _ := cfg.GetPair(edge.From, edge.To, pi)
+			pv.Values[j] = v
+		}
+		out.Pairs = append(out.Pairs, pv)
+	}
+	if err := json.NewEncoder(w).Encode(&out); err != nil {
+		return fmt.Errorf("snapshot: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save.
+func Load(path string) (*lte.Network, *lte.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer zr.Close()
+	return Read(zr)
+}
+
+// Read parses an uncompressed JSON snapshot.
+func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
+	var in file
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: decoding: %w", err)
+	}
+	if in.Format != fileFormat {
+		return nil, nil, fmt.Errorf("snapshot: unsupported format %d", in.Format)
+	}
+	params := make([]paramspec.Param, len(in.Schema))
+	for i, p := range in.Schema {
+		params[i] = paramspec.Param{
+			Name: p.Name, Kind: paramspec.Kind(p.Kind),
+			Min: p.Min, Max: p.Max, Step: p.Step,
+		}
+	}
+	schema := paramspec.NewSchema(params)
+	net := &lte.Network{Markets: in.Markets, Carriers: in.Carriers}
+	for _, e := range in.ENodeBs {
+		net.ENodeBs = append(net.ENodeBs, lte.ENodeB{
+			ID: e.ID, Market: e.Market, Vendor: e.Vendor,
+			Lat: e.Lat, Lon: e.Lon, Carriers: e.Carriers,
+		})
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if len(in.Singular) != len(net.Carriers) {
+		return nil, nil, fmt.Errorf("snapshot: %d singular rows for %d carriers",
+			len(in.Singular), len(net.Carriers))
+	}
+	cfg := lte.NewConfig(schema, len(net.Carriers))
+	singularIdx := schema.Singular()
+	for ci, row := range in.Singular {
+		if len(row) != len(singularIdx) {
+			return nil, nil, fmt.Errorf("snapshot: carrier %d has %d singular values, want %d",
+				ci, len(row), len(singularIdx))
+		}
+		for j, pi := range singularIdx {
+			cfg.Set(lte.CarrierID(ci), pi, row[j])
+		}
+	}
+	pairIdx := schema.PairWise()
+	for _, pv := range in.Pairs {
+		if len(pv.Values) != len(pairIdx) {
+			return nil, nil, fmt.Errorf("snapshot: relation %d->%d has %d values, want %d",
+				pv.From, pv.To, len(pv.Values), len(pairIdx))
+		}
+		for j, pi := range pairIdx {
+			cfg.SetPair(pv.From, pv.To, pi, pv.Values[j])
+		}
+	}
+	return net, cfg, nil
+}

@@ -1,0 +1,142 @@
+package stats
+
+// Contingency is a two-way contingency table between a categorical
+// attribute (rows) and a categorical configuration parameter (columns),
+// exactly like the example table in Fig 9 of the paper. Labels are interned
+// on first use; cells count co-occurrences.
+type Contingency struct {
+	rowIdx map[string]int
+	colIdx map[string]int
+	rows   []string
+	cols   []string
+	counts [][]int // [row][col]
+	total  int
+}
+
+// NewContingency returns an empty table.
+func NewContingency() *Contingency {
+	return &Contingency{
+		rowIdx: make(map[string]int),
+		colIdx: make(map[string]int),
+	}
+}
+
+// Add counts one observation of (attribute value, parameter value).
+func (t *Contingency) Add(row, col string) { t.AddN(row, col, 1) }
+
+// AddN counts n observations of (attribute value, parameter value).
+func (t *Contingency) AddN(row, col string, n int) {
+	ri, ok := t.rowIdx[row]
+	if !ok {
+		ri = len(t.rows)
+		t.rowIdx[row] = ri
+		t.rows = append(t.rows, row)
+		t.counts = append(t.counts, make([]int, len(t.cols)))
+	}
+	ci, ok := t.colIdx[col]
+	if !ok {
+		ci = len(t.cols)
+		t.colIdx[col] = ci
+		t.cols = append(t.cols, col)
+		for i := range t.counts {
+			t.counts[i] = append(t.counts[i], 0)
+		}
+	}
+	t.counts[ri][ci] += n
+	t.total += n
+}
+
+// Rows returns the distinct attribute values in first-seen order.
+func (t *Contingency) Rows() []string { return t.rows }
+
+// Cols returns the distinct parameter values in first-seen order.
+func (t *Contingency) Cols() []string { return t.cols }
+
+// Total returns the number of observations.
+func (t *Contingency) Total() int { return t.total }
+
+// Count returns the cell count for (row, col) labels; missing labels count
+// as zero.
+func (t *Contingency) Count(row, col string) int {
+	ri, ok := t.rowIdx[row]
+	if !ok {
+		return 0
+	}
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return 0
+	}
+	return t.counts[ri][ci]
+}
+
+// ChiSquare computes the chi-square statistic of Eq. (3) with the expected
+// counts of Eq. (4), and the degrees of freedom (R-1)(C-1). Tables with
+// fewer than 2 rows or 2 columns carry no information about dependence and
+// return (0, 0).
+func (t *Contingency) ChiSquare() (stat float64, df int) {
+	r, c := len(t.rows), len(t.cols)
+	if r < 2 || c < 2 || t.total == 0 {
+		return 0, 0
+	}
+	rowSums := make([]float64, r)
+	colSums := make([]float64, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			rowSums[i] += float64(t.counts[i][j])
+			colSums[j] += float64(t.counts[i][j])
+		}
+	}
+	n := float64(t.total)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			expected := rowSums[i] * colSums[j] / n
+			if expected == 0 {
+				continue
+			}
+			d := float64(t.counts[i][j]) - expected
+			stat += d * d / expected
+		}
+	}
+	return stat, (r - 1) * (c - 1)
+}
+
+// PValue returns the chi-square test p-value for the table. Degenerate
+// tables return 1 (no evidence of dependence).
+func (t *Contingency) PValue() float64 {
+	stat, df := t.ChiSquare()
+	if df == 0 {
+		return 1
+	}
+	return ChiSquareSF(stat, df)
+}
+
+// Dependent reports whether the table rejects independence at significance
+// level alpha: the statistic exceeds the critical value of the chi-square
+// distribution with (R-1)(C-1) degrees of freedom (Sec 3.2).
+func (t *Contingency) Dependent(alpha float64) bool {
+	stat, df := t.ChiSquare()
+	if df == 0 {
+		return false
+	}
+	return stat > ChiSquareCritical(df, alpha)
+}
+
+// TestIndependence is a convenience wrapper: it builds the contingency
+// table of two parallel label slices and reports whether they are dependent
+// at significance alpha, with the statistic and p-value. It panics if the
+// slices differ in length.
+func TestIndependence(rowVals, colVals []string, alpha float64) (dependent bool, stat, p float64) {
+	if len(rowVals) != len(colVals) {
+		panic("stats: TestIndependence slices differ in length")
+	}
+	t := NewContingency()
+	for i := range rowVals {
+		t.Add(rowVals[i], colVals[i])
+	}
+	stat, df := t.ChiSquare()
+	if df == 0 {
+		return false, stat, 1
+	}
+	p = ChiSquareSF(stat, df)
+	return stat > ChiSquareCritical(df, alpha), stat, p
+}

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	// Symmetric data has zero skew.
+	if s := Skewness([]float64{1, 2, 3, 4, 5}); !almost(s, 0, 1e-12) {
+		t.Errorf("symmetric skew = %v, want 0", s)
+	}
+	// A long right tail yields positive skew; left tail negative.
+	right := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100}
+	if s := Skewness(right); s <= 1 {
+		t.Errorf("right-tailed skew = %v, want > 1", s)
+	}
+	left := []float64{100, 100, 100, 100, 100, 100, 100, 100, 100, 1}
+	if s := Skewness(left); s >= -1 {
+		t.Errorf("left-tailed skew = %v, want < -1", s)
+	}
+	if Skewness([]float64{5, 5, 5}) != 0 {
+		t.Error("constant data should have 0 skew")
+	}
+}
+
+func TestSkewnessShiftInvariant(t *testing.T) {
+	f := func(seedVals [8]float64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		shift = math.Mod(shift, 1000)
+		xs := make([]float64, 0, 8)
+		shifted := make([]float64, 0, 8)
+		for _, v := range seedVals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			v = math.Mod(v, 100)
+			xs = append(xs, v)
+			shifted = append(shifted, v+shift)
+		}
+		a, b := Skewness(xs), Skewness(shifted)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return almost(a, b, 1e-6*(1+math.Abs(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifySkew(t *testing.T) {
+	tests := []struct {
+		s    float64
+		want SkewClass
+	}{
+		{0, Symmetric}, {0.4, Symmetric}, {-0.5, Symmetric},
+		{0.7, ModeratelySkewed}, {-0.9, ModeratelySkewed}, {1.0, ModeratelySkewed},
+		{1.01, HighlySkewed}, {-3, HighlySkewed},
+	}
+	for _, tc := range tests {
+		if got := ClassifySkew(tc.s); got != tc.want {
+			t.Errorf("ClassifySkew(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	if got := DistinctValues([]float64{1, 1, 2, 3, 3, 3}); got != 3 {
+		t.Errorf("DistinctValues = %d, want 3", got)
+	}
+	if got := DistinctValues(nil); got != 0 {
+		t.Errorf("DistinctValues(nil) = %d, want 0", got)
+	}
+	if got := DistinctValues([]float64{7}); got != 1 {
+		t.Errorf("DistinctValues single = %d, want 1", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 50 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 30 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 20 {
+		t.Errorf("q25 = %v", q)
+	}
+}
+
+func TestChiSquareCDFReferenceValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	tests := []struct {
+		x    float64
+		df   int
+		want float64 // CDF
+	}{
+		{3.841, 1, 0.95},
+		{5.991, 2, 0.95},
+		{6.635, 1, 0.99},
+		{9.210, 2, 0.99},
+		{16.919, 9, 0.95},
+		{21.666, 9, 0.99},
+		{11.070, 5, 0.95},
+	}
+	for _, tc := range tests {
+		got := ChiSquareCDF(tc.x, tc.df)
+		if !almost(got, tc.want, 5e-4) {
+			t.Errorf("ChiSquareCDF(%v, %d) = %v, want %v", tc.x, tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestChiSquareSFComplement(t *testing.T) {
+	for _, df := range []int{1, 2, 5, 10, 50} {
+		for _, x := range []float64{0.5, 1, 5, 20, 80} {
+			cdf := ChiSquareCDF(x, df)
+			sf := ChiSquareSF(x, df)
+			if !almost(cdf+sf, 1, 1e-10) {
+				t.Errorf("CDF+SF = %v for x=%v df=%d", cdf+sf, x, df)
+			}
+		}
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	tests := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.05, 3.841},
+		{2, 0.05, 5.991},
+		{1, 0.01, 6.635},
+		{2, 0.01, 9.210},
+		{9, 0.01, 21.666},
+		{10, 0.05, 18.307},
+	}
+	for _, tc := range tests {
+		got := ChiSquareCritical(tc.df, tc.alpha)
+		if !almost(got, tc.want, 5e-3) {
+			t.Errorf("ChiSquareCritical(%d, %v) = %v, want %v", tc.df, tc.alpha, got, tc.want)
+		}
+	}
+	// Round trip: SF(critical) == alpha.
+	for _, df := range []int{1, 3, 7, 20} {
+		c := ChiSquareCritical(df, 0.01)
+		if !almost(ChiSquareSF(c, df), 0.01, 1e-8) {
+			t.Errorf("SF(critical(df=%d)) = %v, want 0.01", df, ChiSquareSF(c, df))
+		}
+	}
+}
+
+func TestContingencyCounts(t *testing.T) {
+	ct := NewContingency()
+	ct.Add("urban", "20")
+	ct.Add("urban", "20")
+	ct.Add("rural", "100")
+	ct.AddN("suburban", "40", 3)
+	if ct.Total() != 6 {
+		t.Errorf("Total = %d, want 6", ct.Total())
+	}
+	if ct.Count("urban", "20") != 2 || ct.Count("suburban", "40") != 3 {
+		t.Error("cell counts wrong")
+	}
+	if ct.Count("urban", "999") != 0 || ct.Count("nope", "20") != 0 {
+		t.Error("missing labels should count 0")
+	}
+	if len(ct.Rows()) != 3 || len(ct.Cols()) != 3 {
+		t.Errorf("Rows/Cols = %d/%d, want 3/3", len(ct.Rows()), len(ct.Cols()))
+	}
+}
+
+func TestChiSquareIndependentTable(t *testing.T) {
+	// Perfectly proportional table: statistic must be ~0.
+	ct := NewContingency()
+	ct.AddN("a", "x", 10)
+	ct.AddN("a", "y", 20)
+	ct.AddN("b", "x", 30)
+	ct.AddN("b", "y", 60)
+	stat, df := ct.ChiSquare()
+	if df != 1 {
+		t.Fatalf("df = %d, want 1", df)
+	}
+	if !almost(stat, 0, 1e-9) {
+		t.Errorf("independent table stat = %v, want 0", stat)
+	}
+	if ct.Dependent(0.01) {
+		t.Error("independent table flagged dependent")
+	}
+}
+
+func TestChiSquareDependentTable(t *testing.T) {
+	// Perfect association: every attribute value determines the parameter.
+	ct := NewContingency()
+	ct.AddN("urban", "20", 50)
+	ct.AddN("suburban", "40", 50)
+	ct.AddN("rural", "100", 50)
+	stat, df := ct.ChiSquare()
+	if df != 4 {
+		t.Fatalf("df = %d, want 4", df)
+	}
+	if stat < 250 { // perfect association of 150 samples over 3x3 => 2*N = 300
+		t.Errorf("dependent table stat = %v, want large", stat)
+	}
+	if !ct.Dependent(0.01) {
+		t.Error("perfectly dependent table not flagged at alpha=0.01")
+	}
+	if p := ct.PValue(); p > 1e-10 {
+		t.Errorf("p-value = %v, want ~0", p)
+	}
+}
+
+func TestChiSquareDegenerateTable(t *testing.T) {
+	ct := NewContingency()
+	ct.AddN("only", "x", 5)
+	ct.AddN("only", "y", 5)
+	stat, df := ct.ChiSquare()
+	if stat != 0 || df != 0 {
+		t.Errorf("single-row table: stat=%v df=%d, want 0,0", stat, df)
+	}
+	if ct.Dependent(0.01) {
+		t.Error("degenerate table flagged dependent")
+	}
+	if ct.PValue() != 1 {
+		t.Errorf("degenerate p-value = %v, want 1", ct.PValue())
+	}
+}
+
+func TestTestIndependence(t *testing.T) {
+	// Dependent: col mirrors row.
+	rows := make([]string, 0, 300)
+	cols := make([]string, 0, 300)
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 300; i++ {
+		l := labels[i%3]
+		rows = append(rows, l)
+		cols = append(cols, l+"-val")
+	}
+	dep, stat, p := TestIndependence(rows, cols, 0.01)
+	if !dep || stat <= 0 || p > 1e-10 {
+		t.Errorf("mirrored labels: dep=%v stat=%v p=%v", dep, stat, p)
+	}
+	// Independent: constant column.
+	for i := range cols {
+		cols[i] = "same"
+	}
+	dep, _, p = TestIndependence(rows, cols, 0.01)
+	if dep || p != 1 {
+		t.Errorf("constant column: dep=%v p=%v, want false, 1", dep, p)
+	}
+}
+
+func TestTestIndependenceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	TestIndependence([]string{"a"}, []string{"x", "y"}, 0.05)
+}
+
+func TestGammaEdgeCases(t *testing.T) {
+	if !math.IsNaN(lowerRegGamma(-1, 1)) {
+		t.Error("P(a<=0, x) should be NaN")
+	}
+	if lowerRegGamma(2, 0) != 0 {
+		t.Error("P(a, 0) should be 0")
+	}
+	if upperRegGamma(2, 0) != 1 {
+		t.Error("Q(a, 0) should be 1")
+	}
+	// P + Q = 1 across regimes (series and continued fraction).
+	for _, a := range []float64{0.5, 1, 2.5, 10} {
+		for _, x := range []float64{0.1, 1, 3, 10, 100} {
+			if s := lowerRegGamma(a, x) + upperRegGamma(a, x); !almost(s, 1, 1e-10) {
+				t.Errorf("P+Q = %v for a=%v x=%v", s, a, x)
+			}
+		}
+	}
+}
