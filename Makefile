@@ -1,0 +1,24 @@
+# Verification entrypoints. `make check` is the tier-1 gate every PR must
+# pass (see ROADMAP.md): build, vet, the full test suite, and the same
+# suite under the race detector — the parallel train/recommend pipeline is
+# only correct if the equivalence tests hold with -race on.
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .

@@ -93,6 +93,38 @@ func BenchmarkTable3Dataset(b *testing.B) {
 	b.ReportMetric(float64(values), "param-values")
 }
 
+// BenchmarkDatasetPerCallBuild labels every parameter of the full bench
+// network with dataset.Build, which reassembles the attribute base on
+// each call — the engine's train path before the shared Builder existed.
+func BenchmarkDatasetPerCallBuild(b *testing.B) {
+	w := benchWorld()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = 0
+		for pi := 0; pi < w.Schema.Len(); pi++ {
+			rows += len(dataset.Build(w.Net, w.X2, w.Current, pi, nil).Rows)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkDatasetSharedBuilder labels the same parameter set through one
+// dataset.Builder, which assembles the singular and pair-wise attribute
+// bases once and shares them across all parameters — the engine's current
+// train path.
+func BenchmarkDatasetSharedBuilder(b *testing.B) {
+	w := benchWorld()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		builder := dataset.NewBuilder(w.Net, w.X2, nil)
+		rows = 0
+		for pi := 0; pi < w.Schema.Len(); pi++ {
+			rows += len(builder.Labeled(w.Current, pi).Rows)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkTable4GlobalLearners regenerates Table 4: the five global
 // learners compared over the four timezone markets. Reports collaborative
 // filtering's overall accuracy.
@@ -364,8 +396,28 @@ func BenchmarkAblationScopeHops(b *testing.B) {
 
 // helpers
 
+var (
+	benchBuildersMu sync.Mutex
+	benchBuilders   = map[int]*dataset.Builder{}
+)
+
+// benchBuilder caches one shared-base table builder per market, so ablation
+// benches that label several parameters of one market stop rebuilding the
+// market's attribute rows on every call (benchWorld is a singleton, so the
+// cached bases stay valid for the whole bench run).
+func benchBuilder(w *auric.World, market int) *dataset.Builder {
+	benchBuildersMu.Lock()
+	defer benchBuildersMu.Unlock()
+	b, ok := benchBuilders[market]
+	if !ok {
+		b = dataset.NewBuilder(w.Net, w.X2, dataset.MarketFilter(w.Net, market))
+		benchBuilders[market] = b
+	}
+	return b
+}
+
 func evalTable(w *auric.World, pi, market int) *dataset.Table {
-	return dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, market))
+	return benchBuilder(w, market).Labeled(w.Current, pi)
 }
 
 func percentName(x float64) string {

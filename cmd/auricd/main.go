@@ -49,6 +49,7 @@ func main() {
 		markets = flag.Int("markets", 4, "number of markets")
 		enbs    = flag.Int("enbs", 30, "eNodeBs per market")
 		load    = flag.String("load", "", "serve a network snapshot (auricgen -save) instead of generating")
+		workers = flag.Int("workers", 0, "train/recommend worker pool size (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 		s.schema, s.net = cfg.Schema(), net
 		s.x2 = auric.BuildX2(net)
 		log.Printf("training local collaborative-filtering engine on %d carriers", len(net.Carriers))
-		s.engine = auric.NewEngine(s.schema, auric.EngineOptions{Local: true})
+		s.engine = auric.NewEngine(s.schema, auric.EngineOptions{Local: true, Workers: *workers})
 		if err := s.engine.Train(net, s.x2, cfg); err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func main() {
 		log.Printf("generating network (seed=%d, %d markets x %d eNodeBs)", *seed, *markets, *enbs)
 		w := auric.SimulateNetwork(auric.NetworkOptions{Seed: *seed, Markets: *markets, ENodeBsPerMarket: *enbs})
 		log.Printf("training local collaborative-filtering engine on %d carriers", len(w.Net.Carriers))
-		engine := auric.NewEngine(w.Schema, auric.EngineOptions{Local: true})
+		engine := auric.NewEngine(w.Schema, auric.EngineOptions{Local: true, Workers: *workers})
 		if err := engine.Train(w.Net, w.X2, w.Current); err != nil {
 			log.Fatal(err)
 		}

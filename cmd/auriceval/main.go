@@ -38,6 +38,7 @@ func main() {
 		folds   = flag.Int("folds", 3, "cross-validation folds")
 		samples = flag.Int("samples", 900, "max samples per parameter table (0 = all)")
 		quick   = flag.Bool("quick", true, "shrink the expensive learners (forest size, MLP depth)")
+		workers = flag.Int("workers", 0, "per-parameter worker pool size (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 
 	e := &env{
 		w:     w,
-		cv:    eval.CVOptions{Folds: *folds, Seed: *seed, MaxSamples: *samples},
+		cv:    eval.CVOptions{Folds: *folds, Seed: *seed, MaxSamples: *samples, Workers: *workers},
 		quick: *quick,
 	}
 	e.markets = eval.PickTimezoneMarkets(w)

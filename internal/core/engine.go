@@ -15,6 +15,7 @@ import (
 	"auric/internal/learn/cf"
 	"auric/internal/lte"
 	"auric/internal/paramspec"
+	"auric/internal/pool"
 )
 
 // Options configure an engine.
@@ -35,6 +36,11 @@ type Options struct {
 	// MaxSamples caps the training rows per parameter (0 = unlimited);
 	// subsampling is deterministic per parameter.
 	MaxSamples int
+	// Workers bounds the worker pool Train and Recommend fan out on,
+	// per parameter; zero or negative means runtime.NumCPU(). The worker
+	// count affects timing only: results are bit-for-bit identical at any
+	// setting.
+	Workers int
 }
 
 // Engine learns and serves configuration recommendations.
@@ -44,7 +50,7 @@ type Engine struct {
 
 	net    *lte.Network
 	x2     *geo.Graph
-	models map[int]learn.Model // schema index -> fitted model
+	models []learn.Model // indexed by schema index; nil before Train
 }
 
 // New creates an engine over the given schema.
@@ -55,7 +61,7 @@ func New(schema *paramspec.Schema, opts Options) *Engine {
 	if opts.Hops <= 0 {
 		opts.Hops = 1
 	}
-	return &Engine{opts: opts, schema: schema, models: make(map[int]learn.Model)}
+	return &Engine{opts: opts, schema: schema}
 }
 
 // Schema returns the engine's parameter schema.
@@ -66,6 +72,11 @@ func (e *Engine) LearnerName() string { return e.opts.Learner.Name() }
 
 // Train fits one dependency model per configuration parameter from the
 // network's current configuration. It must be called before Recommend.
+//
+// Parameters are independent (Sec 3.2: one chi-square dependency model
+// each), so they fit on a worker pool of Options.Workers goroutines over a
+// shared attribute base; each model lands in its own slot, so the fitted
+// state is identical at every worker count.
 func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
 	e.net, e.x2 = net, x2
 	var keep dataset.Filter
@@ -73,8 +84,10 @@ func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
 		vendor := e.opts.Vendor
 		keep = func(id lte.CarrierID) bool { return net.Carriers[id].Vendor == vendor }
 	}
-	for pi := 0; pi < e.schema.Len(); pi++ {
-		t := dataset.Build(net, x2, cfg, pi, keep)
+	b := dataset.NewBuilder(net, x2, keep)
+	models := make([]learn.Model, e.schema.Len())
+	err := pool.ForEachN(e.opts.Workers, e.schema.Len(), func(pi int) error {
+		t := b.Labeled(cfg, pi)
 		if e.opts.MaxSamples > 0 {
 			t = t.Sample(e.opts.MaxSamples, uint64(pi)+1)
 		}
@@ -85,13 +98,23 @@ func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
 		if err != nil {
 			return fmt.Errorf("core: fitting %s: %w", e.schema.At(pi).Name, err)
 		}
-		e.models[pi] = m
+		models[pi] = m
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	e.models = models
 	return nil
 }
 
 // Model returns the fitted model of one parameter (nil before Train).
-func (e *Engine) Model(pi int) learn.Model { return e.models[pi] }
+func (e *Engine) Model(pi int) learn.Model {
+	if pi < 0 || pi >= len(e.models) {
+		return nil
+	}
+	return e.models[pi]
+}
 
 // Recommendation is one recommended configuration value.
 type Recommendation struct {
@@ -126,24 +149,38 @@ func (e *Engine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recomme
 	if e.opts.Local {
 		scope = e.scopeFor(c)
 	}
-	var out []Recommendation
+	// Every (parameter, neighbor) prediction is independent, so they fan
+	// out over the worker pool. Each job writes its preallocated slot and
+	// the fitted models are read-only, so the output is byte-identical to
+	// the serial walk at any worker count.
+	type job struct {
+		pi       int
+		attrs    []string
+		neighbor lte.CarrierID
+	}
+	var jobs []job
 	attrs := c.AttributeVector()
 	for _, pi := range e.schema.Singular() {
-		rec, err := e.recommendOne(pi, attrs, -1, scope)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rec)
+		jobs = append(jobs, job{pi, attrs, -1})
 	}
 	for _, nb := range neighbors {
 		pairAttrs := lte.PairAttributeVector(c, &e.net.Carriers[nb])
 		for _, pi := range e.schema.PairWise() {
-			rec, err := e.recommendOne(pi, pairAttrs, nb, scope)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, rec)
+			jobs = append(jobs, job{pi, pairAttrs, nb})
 		}
+	}
+	out := make([]Recommendation, len(jobs))
+	err := pool.ForEachN(e.opts.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		rec, err := e.recommendOne(j.pi, j.attrs, j.neighbor, scope)
+		if err != nil {
+			return err
+		}
+		out[i] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Neighbor != out[j].Neighbor {

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestBuilderMatchesBuild is the builder's correctness contract: for every
+// parameter of the schema, Labeled must produce exactly the table Build
+// produces — same rows, labels, values, sites, in the same order.
+func TestBuilderMatchesBuild(t *testing.T) {
+	w := world()
+	filters := map[string]Filter{
+		"all":     nil,
+		"market0": MarketFilter(w.Net, 0),
+	}
+	for name, keep := range filters {
+		b := NewBuilder(w.Net, w.X2, keep)
+		for pi := 0; pi < w.Schema.Len(); pi++ {
+			got := b.Labeled(w.Current, pi)
+			want := Build(w.Net, w.X2, w.Current, pi, keep)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: Labeled(%s) differs from Build", name, w.Schema.At(pi).Name)
+			}
+		}
+	}
+}
+
+// TestBuilderSharesBase verifies the point of the builder: singular tables
+// of different parameters share one attribute base instead of rebuilding
+// it per parameter.
+func TestBuilderSharesBase(t *testing.T) {
+	w := world()
+	b := NewBuilder(w.Net, w.X2, nil)
+	var sing []*Table
+	for pi := 0; pi < w.Schema.Len() && len(sing) < 2; pi++ {
+		tb := b.Labeled(w.Current, pi)
+		if tb.Sites[0].To == -1 {
+			sing = append(sing, tb)
+		}
+	}
+	if len(sing) < 2 {
+		t.Fatal("schema has fewer than two singular parameters")
+	}
+	if &sing[0].Rows[0] != &sing[1].Rows[0] {
+		t.Error("singular tables do not share the attribute base")
+	}
+}
+
+// TestBuilderConcurrentLabeled exercises the lazy base construction from
+// many goroutines at once (the engine shares one builder across its worker
+// pool); run under -race this proves the sync.Once guards suffice.
+func TestBuilderConcurrentLabeled(t *testing.T) {
+	w := world()
+	b := NewBuilder(w.Net, w.X2, nil)
+	want := make([]*Table, w.Schema.Len())
+	for pi := range want {
+		want[pi] = Build(w.Net, w.X2, w.Current, pi, nil)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, w.Schema.Len())
+	for pi := 0; pi < w.Schema.Len(); pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			if got := b.Labeled(w.Current, pi); !reflect.DeepEqual(got, want[pi]) {
+				errs <- w.Schema.At(pi).Name
+			}
+		}(pi)
+	}
+	wg.Wait()
+	close(errs)
+	for name := range errs {
+		t.Errorf("concurrent Labeled(%s) differs from Build", name)
+	}
+}
+
+func TestBuilderPairWiseRequiresX2(t *testing.T) {
+	w := world()
+	b := NewBuilder(w.Net, nil, nil)
+	if len(w.Schema.PairWise()) == 0 {
+		t.Skip("schema has no pair-wise parameters")
+	}
+	pairPi := w.Schema.PairWise()[0]
+	// Singular labeling works without a graph...
+	if tb := b.Labeled(w.Current, w.Schema.Singular()[0]); tb.Len() != len(w.Net.Carriers) {
+		t.Fatalf("singular table has %d rows", tb.Len())
+	}
+	// ...pair-wise labeling must panic, exactly like Build.
+	defer func() {
+		if recover() == nil {
+			t.Error("pair-wise Labeled without an X2 graph did not panic")
+		}
+	}()
+	b.Labeled(w.Current, pairPi)
+}

@@ -58,48 +58,12 @@ func MarketFilter(net *lte.Network, m int) Filter {
 // sample is emitted for every directed relation whose From carrier passes
 // the filter and whose value is configured. For singular parameters x2 may
 // be nil.
+//
+// Build is the one-shot form; callers labeling many parameters of the same
+// network slice should share a Builder, which materializes the attribute
+// base once instead of per parameter.
 func Build(net *lte.Network, x2 *geo.Graph, cfg *lte.Config, pi int, keep Filter) *Table {
-	schema := cfg.Schema()
-	spec := schema.At(pi)
-	t := &Table{Param: pi, Spec: spec}
-	if spec.Kind == paramspec.Singular {
-		t.ColNames = lte.AttributeNames()
-		for ci := range net.Carriers {
-			id := lte.CarrierID(ci)
-			if keep != nil && !keep(id) {
-				continue
-			}
-			v := cfg.Get(id, pi)
-			t.append(net.Carriers[ci].AttributeVector(), spec, v, Site{From: id, To: -1})
-		}
-		return t
-	}
-	if x2 == nil {
-		panic("dataset: pair-wise parameter requires an X2 graph")
-	}
-	t.ColNames = lte.PairAttributeNames()
-	for ci := range net.Carriers {
-		id := lte.CarrierID(ci)
-		if keep != nil && !keep(id) {
-			continue
-		}
-		c := &net.Carriers[ci]
-		for _, nb := range x2.CarrierNeighbors(id) {
-			v, ok := cfg.GetPair(id, nb, pi)
-			if !ok {
-				continue
-			}
-			t.append(lte.PairAttributeVector(c, &net.Carriers[nb]), spec, v, Site{From: id, To: nb})
-		}
-	}
-	return t
-}
-
-func (t *Table) append(row []string, spec paramspec.Param, v float64, s Site) {
-	t.Rows = append(t.Rows, row)
-	t.Labels = append(t.Labels, spec.Format(v))
-	t.Values = append(t.Values, v)
-	t.Sites = append(t.Sites, s)
+	return NewBuilder(net, x2, keep).Labeled(cfg, pi)
 }
 
 // Subset returns a new table containing the rows at the given indices

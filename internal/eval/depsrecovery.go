@@ -43,8 +43,9 @@ func (r DepRecoveryResult) TopWeighted() float64 {
 // TrueDependencies.
 func DependencyRecovery(w *netsim.World, maxSamples int) (DepRecoveryResult, error) {
 	var res DepRecoveryResult
+	b := dataset.NewBuilder(w.Net, w.X2, nil)
 	for pi := 0; pi < w.Schema.Len(); pi++ {
-		t := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+		t := b.Labeled(w.Current, pi)
 		if maxSamples > 0 {
 			t = t.Sample(maxSamples, uint64(pi)+1)
 		}

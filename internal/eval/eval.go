@@ -7,14 +7,12 @@
 package eval
 
 import (
-	"runtime"
-	"sync"
-
 	"auric/internal/dataset"
 	"auric/internal/geo"
 	"auric/internal/learn"
 	"auric/internal/lte"
 	"auric/internal/netsim"
+	"auric/internal/pool"
 )
 
 // CVOptions control cross-validated accuracy measurement.
@@ -29,6 +27,10 @@ type CVOptions struct {
 	// Hops is the geographic scope radius for local evaluation; zero
 	// means 1.
 	Hops int
+	// Workers bounds the per-parameter worker pool of the experiment
+	// drivers; zero or negative means runtime.NumCPU(). Timing only —
+	// results are identical at any setting.
+	Workers int
 }
 
 func (o CVOptions) withDefaults() CVOptions {
@@ -173,42 +175,9 @@ func safeFolds(t *dataset.Table, opts CVOptions) ([][]int, bool) {
 }
 
 // forEachParam runs fn over the given schema parameter indices on a worker
-// pool and returns the first error.
-func forEachParam(params []int, fn func(pi int) error) error {
-	workers := runtime.NumCPU()
-	if workers > len(params) {
-		workers = len(params)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err  error
-		work = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pi := range work {
-				if e := fn(pi); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for _, pi := range params {
-		work <- pi
-	}
-	close(work)
-	wg.Wait()
-	return err
+// pool of the given size and returns the first error.
+func forEachParam(workers int, params []int, fn func(pi int) error) error {
+	return pool.ForEach(workers, params, fn)
 }
 
 // allParams lists every schema index of the world.

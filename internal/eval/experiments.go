@@ -65,9 +65,10 @@ type VariabilityRow struct {
 // whole network, sorted descending (the paper reverse-sorts by distinct
 // values).
 func Fig2(w *netsim.World) []VariabilityRow {
+	b := dataset.NewBuilder(w.Net, w.X2, nil)
 	rows := make([]VariabilityRow, w.Schema.Len())
 	for pi := 0; pi < w.Schema.Len(); pi++ {
-		t := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+		t := b.Labeled(w.Current, pi)
 		rows[pi] = VariabilityRow{Param: w.Schema.At(pi).Name, Distinct: t.DistinctLabels()}
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
@@ -88,6 +89,7 @@ type MarketVariabilityRow struct {
 
 // Fig3 computes the per-market distinct-value counts of every parameter.
 func Fig3(w *netsim.World) []MarketVariabilityRow {
+	builders := marketBuilders(w)
 	out := make([]MarketVariabilityRow, w.Schema.Len())
 	for pi := 0; pi < w.Schema.Len(); pi++ {
 		row := MarketVariabilityRow{
@@ -95,10 +97,21 @@ func Fig3(w *netsim.World) []MarketVariabilityRow {
 			PerMarket: make([]int, len(w.Net.Markets)),
 		}
 		for m := range w.Net.Markets {
-			t := dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, m))
+			t := builders[m].Labeled(w.Current, pi)
 			row.PerMarket[m] = t.DistinctLabels()
 		}
 		out[pi] = row
+	}
+	return out
+}
+
+// marketBuilders prepares one shared-base table builder per market, so
+// experiments that sweep (market, parameter) build each market's attribute
+// rows once instead of once per parameter.
+func marketBuilders(w *netsim.World) []*dataset.Builder {
+	out := make([]*dataset.Builder, len(w.Net.Markets))
+	for m := range out {
+		out[m] = dataset.NewBuilder(w.Net, w.X2, dataset.MarketFilter(w.Net, m))
 	}
 	return out
 }
@@ -116,6 +129,7 @@ type SkewRow struct {
 // paper's symmetric / moderately / highly skewed classification.
 func Fig4(w *netsim.World) (rows []SkewRow, byClass map[stats.SkewClass]int) {
 	byClass = map[stats.SkewClass]int{}
+	builders := marketBuilders(w)
 	for pi := 0; pi < w.Schema.Len(); pi++ {
 		row := SkewRow{
 			Param:     w.Schema.At(pi).Name,
@@ -123,7 +137,7 @@ func Fig4(w *netsim.World) (rows []SkewRow, byClass map[stats.SkewClass]int) {
 		}
 		var pooled []float64
 		for m := range w.Net.Markets {
-			t := dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, m))
+			t := builders[m].Labeled(w.Current, pi)
 			row.PerMarket[m] = stats.Skewness(t.Values)
 			pooled = append(pooled, t.Values...)
 		}
@@ -217,8 +231,9 @@ func GlobalLearnerComparison(w *netsim.World, markets []int, specs []LearnerSpec
 	)
 	for _, m := range markets {
 		market := m
-		err := forEachParam(allParams(w), func(pi int) error {
-			t := dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, market))
+		b := dataset.NewBuilder(w.Net, w.X2, dataset.MarketFilter(w.Net, market))
+		err := forEachParam(cv.Workers, allParams(w), func(pi int) error {
+			t := b.Labeled(w.Current, pi)
 			distinct := t.DistinctLabels()
 			for _, spec := range specs {
 				res, err := CrossValidate(t, spec.Build(), cv, nil)
@@ -291,8 +306,9 @@ func LocalVsGlobal(w *netsim.World, markets []int, cv CVOptions, onMismatch func
 	var mu sync.Mutex
 	for _, m := range markets {
 		market := m
-		err = forEachParam(allParams(w), func(pi int) error {
-			t := dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, market))
+		b := dataset.NewBuilder(w.Net, w.X2, dataset.MarketFilter(w.Net, market))
+		err = forEachParam(cv.Workers, allParams(w), func(pi int) error {
+			t := b.Labeled(w.Current, pi)
 			g, err := CrossValidate(t, cf.New(), cv, nil)
 			if err != nil {
 				return err
@@ -337,6 +353,7 @@ func Fig11(w *netsim.World, topN int, cv CVOptions) ([]Fig11Row, error) {
 	if topN > len(variability) {
 		topN = len(variability)
 	}
+	builders := marketBuilders(w)
 	var out []Fig11Row
 	for _, v := range variability[:topN] {
 		pi := w.Schema.IndexOf(v.Param)
@@ -351,8 +368,8 @@ func Fig11(w *netsim.World, topN int, cv CVOptions) ([]Fig11Row, error) {
 		for i := range markets {
 			markets[i] = i
 		}
-		err := forEachParam(markets, func(m int) error {
-			t := dataset.Build(w.Net, w.X2, w.Current, pi, dataset.MarketFilter(w.Net, m))
+		err := forEachParam(cv.Workers, markets, func(m int) error {
+			t := builders[m].Labeled(w.Current, pi)
 			res, err := CrossValidateLocal(t, cf.New(), w.Net, w.X2, cv, nil)
 			if err != nil {
 				return err

@@ -30,8 +30,6 @@ import (
 
 	"auric/internal/dataset"
 	"auric/internal/learn"
-	"math"
-
 	"auric/internal/stats"
 )
 
@@ -103,7 +101,7 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 			continue
 		}
 		if stat > stats.ChiSquareCritical(df, opts.Alpha) {
-			deps = append(deps, depCol{c, cramersV(stat, ct)})
+			deps = append(deps, depCol{c, ct.CramersV(stat)})
 		}
 	}
 	// Strongest association first; relaxation drops from the tail. The
@@ -210,19 +208,6 @@ func (m *Model) queryDeps(row []string) []int {
 	return deps
 }
 
-// cramersV normalizes a chi-square statistic into Cramér's V in [0, 1].
-func cramersV(stat float64, ct *stats.Contingency) float64 {
-	n := float64(ct.Total())
-	k := len(ct.Rows())
-	if c := len(ct.Cols()); c < k {
-		k = c
-	}
-	if n == 0 || k < 2 {
-		return 0
-	}
-	return math.Sqrt(stat / (n * float64(k-1)))
-}
-
 func key(row []string, deps []int) string {
 	var sb strings.Builder
 	for _, d := range deps {
@@ -232,7 +217,12 @@ func key(row []string, deps []int) string {
 	return sb.String()
 }
 
-// Model is a fitted collaborative-filtering model.
+// Model is a fitted collaborative-filtering model. After Fit returns, a
+// Model is immutable: Predict, PredictScoped and PredictWeighted only read
+// the fitted state (the training table, the dependency ordering, the match
+// index and the value-share maps) and allocate their working storage per
+// call, so one Model is safe for concurrent use by any number of
+// goroutines — the engine's recommendation fan-out relies on this.
 type Model struct {
 	t        *dataset.Table
 	opts     Options

@@ -1,0 +1,70 @@
+package cf
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"auric/internal/dataset"
+	"auric/internal/netsim"
+)
+
+// TestConcurrentPredict hammers one fitted model from 16 goroutines mixing
+// Predict and PredictScoped. Fitted models are documented read-only; run
+// under -race this proves the prediction paths (queryDeps, ladder, vote,
+// matches) never write shared state, which the engine's parallel
+// recommendation fan-out depends on.
+func TestConcurrentPredict(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 7, Markets: 2, ENodeBsPerMarket: 12})
+	pi := w.Schema.IndexOf("sFreqPrio")
+	tb := dataset.Build(w.Net, w.X2, w.Current, pi, nil)
+	fitted, err := New().Fit(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitted.(*Model)
+
+	depsBefore := m.DependentColumns()
+
+	// Reference predictions computed serially; every goroutine must
+	// reproduce them exactly.
+	rows := tb.Rows[:24]
+	scope := func(s dataset.Site) bool { return s.From%2 == 0 }
+	wantPlain := make([]string, len(rows))
+	wantScoped := make([]string, len(rows))
+	for i, row := range rows {
+		wantPlain[i] = m.Predict(row).Explanation
+		wantScoped[i] = m.PredictScoped(row, scope).Explanation
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	failures := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := (g + rep) % len(rows)
+				if got := m.Predict(rows[i]).Explanation; got != wantPlain[i] {
+					failures <- "Predict diverged under concurrency"
+					return
+				}
+				if got := m.PredictScoped(rows[i], scope).Explanation; got != wantScoped[i] {
+					failures <- "PredictScoped diverged under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Error(f)
+	}
+
+	// The fitted dependency ordering must be untouched by prediction.
+	if got := m.DependentColumns(); !reflect.DeepEqual(got, depsBefore) {
+		t.Error("DependentColumns changed across concurrent prediction")
+	}
+}

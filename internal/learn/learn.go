@@ -26,7 +26,11 @@ type Prediction struct {
 	Explanation string
 }
 
-// Model is a fitted per-parameter dependency model.
+// Model is a fitted per-parameter dependency model. Fitted models must be
+// read-only: Predict (and the scoped/weighted variants) may not mutate
+// model state, so one model can serve concurrent predictions — the
+// engine's parallel recommendation path calls Predict on the same model
+// from multiple goroutines.
 type Model interface {
 	// Predict recommends a value label for one attribute row.
 	Predict(row []string) Prediction

@@ -1,0 +1,71 @@
+// Package pool provides the bounded worker-pool primitive shared by the
+// recommendation engine and the evaluation harness. Auric's learner is
+// embarrassingly parallel across its 65 configuration parameters (one
+// dependency model per parameter, Sec 3.2), so both training and
+// recommendation fan work items out over a fixed-size pool.
+//
+// The pool affects timing only, never results: callers write each item's
+// output into a preallocated slot indexed by the item, so outputs land in
+// a deterministic order regardless of worker count or scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEachN runs fn(i) for every i in [0, n) on a pool of the given number
+// of workers and returns the first error observed (by completion order;
+// remaining items still run to completion). workers <= 0 means
+// runtime.NumCPU(); the pool never uses more workers than items.
+func ForEachN(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines, no channel, same semantics.
+		var err error
+		for i := 0; i < n; i++ {
+			if e := fn(i); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+		work = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return err
+}
+
+// ForEach runs fn(item) for every item of items on the pool, with the same
+// worker and error semantics as ForEachN.
+func ForEach(workers int, items []int, fn func(item int) error) error {
+	return ForEachN(workers, len(items), func(i int) error { return fn(items[i]) })
+}

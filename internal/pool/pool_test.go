@@ -1,0 +1,64 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachNCoversEveryItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var hits [100]int32
+		if err := ForEachN(workers, len(hits), func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachNFirstError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := ForEachN(workers, 50, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i%10 == 3 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// Every item still runs; the pool only records the first failure.
+		if ran != 50 {
+			t.Fatalf("workers=%d: ran %d of 50 items", workers, ran)
+		}
+	}
+}
+
+func TestForEachMapsItems(t *testing.T) {
+	items := []int{4, 8, 15, 16, 23, 42}
+	var sum int64
+	if err := ForEach(2, items, func(item int) error {
+		atomic.AddInt64(&sum, int64(item))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 108 {
+		t.Fatalf("sum = %d, want 108", sum)
+	}
+}
+
+func TestForEachNEmpty(t *testing.T) {
+	if err := ForEachN(8, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

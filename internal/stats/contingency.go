@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // Contingency is a two-way contingency table between a categorical
 // attribute (rows) and a categorical configuration parameter (columns),
 // exactly like the example table in Fig 9 of the paper. Labels are interned
@@ -98,6 +100,22 @@ func (t *Contingency) ChiSquare() (stat float64, df int) {
 		}
 	}
 	return stat, (r - 1) * (c - 1)
+}
+
+// CramersV normalizes a chi-square statistic of the table into Cramér's V:
+// sqrt(chi2 / (n * (min(R, C) - 1))), an association strength in [0, 1]
+// comparable across attribute cardinalities. Degenerate tables (empty, or
+// fewer than 2 rows or columns) return 0.
+func (t *Contingency) CramersV(stat float64) float64 {
+	n := float64(t.total)
+	k := len(t.rows)
+	if c := len(t.cols); c < k {
+		k = c
+	}
+	if n == 0 || k < 2 {
+		return 0
+	}
+	return math.Sqrt(stat / (n * float64(k-1)))
 }
 
 // PValue returns the chi-square test p-value for the table. Degenerate

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"auric/internal/rng"
+)
+
+// randomTable draws a contingency table with the given shape, feeding each
+// cell a small random count (some zero, as real attribute/value tables
+// have).
+func randomTable(r *rng.RNG, nrows, ncols int) *Contingency {
+	t := NewContingency()
+	for i := 0; i < nrows; i++ {
+		for j := 0; j < ncols; j++ {
+			if n := r.Intn(12); n > 0 {
+				t.AddN(rowLabel(i), colLabel(j), n)
+			}
+		}
+	}
+	return t
+}
+
+func rowLabel(i int) string { return string(rune('a' + i)) }
+func colLabel(j int) string { return string(rune('A' + j)) }
+
+// TestChiSquarePermutationInvariance: the chi-square statistic of a
+// contingency table is a function of the cell counts and the marginals
+// only, so permuting the row labels or the column labels (i.e. feeding the
+// same observations in a shuffled category order) must not change the
+// statistic or the degrees of freedom.
+func TestChiSquarePermutationInvariance(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		nrows, ncols := 2+r.Intn(5), 2+r.Intn(5)
+		orig := randomTable(r, nrows, ncols)
+		wantStat, wantDF := orig.ChiSquare()
+
+		// Rebuild the same table with rows and columns renamed through a
+		// random permutation of their label sets.
+		rowPerm := r.Perm(nrows)
+		colPerm := r.Perm(ncols)
+		perm := NewContingency()
+		for i := 0; i < nrows; i++ {
+			for j := 0; j < ncols; j++ {
+				if n := orig.Count(rowLabel(i), colLabel(j)); n > 0 {
+					perm.AddN(rowLabel(rowPerm[i]), colLabel(colPerm[j]), n)
+				}
+			}
+		}
+		gotStat, gotDF := perm.ChiSquare()
+		if gotDF != wantDF {
+			t.Fatalf("trial %d: df %d after permutation, want %d", trial, gotDF, wantDF)
+		}
+		if math.Abs(gotStat-wantStat) > 1e-9*(1+math.Abs(wantStat)) {
+			t.Fatalf("trial %d: chi-square %v after permutation, want %v", trial, gotStat, wantStat)
+		}
+	}
+}
+
+// TestCramersVBounds: across randomized tables, Cramér's V of the table's
+// own chi-square statistic stays within [0, 1] (1 is perfect association)
+// and is exactly 0 for degenerate tables.
+func TestCramersVBounds(t *testing.T) {
+	r := rng.New(1789)
+	for trial := 0; trial < 500; trial++ {
+		ct := randomTable(r, 2+r.Intn(6), 2+r.Intn(6))
+		stat, df := ct.ChiSquare()
+		if df == 0 {
+			continue
+		}
+		v := ct.CramersV(stat)
+		if v < 0 || v > 1+1e-12 || math.IsNaN(v) {
+			t.Fatalf("trial %d: Cramér's V = %v out of [0, 1] (stat=%v)", trial, v, stat)
+		}
+	}
+
+	// Perfect association hits the upper bound exactly.
+	perfect := NewContingency()
+	perfect.AddN("a", "A", 10)
+	perfect.AddN("b", "B", 10)
+	stat, _ := perfect.ChiSquare()
+	if v := perfect.CramersV(stat); math.Abs(v-1) > 1e-12 {
+		t.Errorf("perfectly associated table: V = %v, want 1", v)
+	}
+
+	// Degenerate tables (single row) carry no association.
+	degen := NewContingency()
+	degen.AddN("a", "A", 3)
+	degen.AddN("a", "B", 4)
+	if v := degen.CramersV(12.3); v != 0 {
+		t.Errorf("degenerate table: V = %v, want 0", v)
+	}
+}
