@@ -1,18 +1,40 @@
 # Verification entrypoints. `make check` is the tier-1 gate every PR must
-# pass (see ROADMAP.md): build, vet, the full test suite, and the same
-# suite under the race detector — the parallel train/recommend pipeline is
-# only correct if the equivalence tests hold with -race on.
+# pass (see ROADMAP.md): build, vet, gofmt, the package-comment audit, the
+# full test suite, and the same suite under the race detector — the
+# parallel train/recommend pipeline is only correct if the equivalence
+# tests hold with -race on, and the obs registry must be race-clean under
+# concurrent scrape + increment.
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet fmt-check doc-audit test race bench serve-smoke
 
-check: build vet test race
+check: build vet fmt-check doc-audit test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "fmt-check: gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	@echo "fmt-check: gofmt clean"
+
+# doc-audit fails when any package (root, internal/*, cmd/*) lacks a
+# `// Package ...` or `// Command ...` doc comment — the operator- and
+# contributor-facing documentation floor (see OPERATIONS.md).
+doc-audit:
+	@missing=0; \
+	for dir in . $$(find internal cmd -type d); do \
+		files=$$(find "$$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go'); \
+		[ -z "$$files" ] && continue; \
+		grep -q '^// Package \|^// Command ' $$files || { \
+			echo "doc-audit: $$dir has no package doc comment"; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] || exit 1
+	@echo "doc-audit: every package documented"
 
 test:
 	$(GO) test ./...
@@ -22,3 +44,8 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# serve-smoke boots auricd on a random port, exercises /healthz and
+# /metrics over real TCP, and verifies SIGTERM shuts it down cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh

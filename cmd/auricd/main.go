@@ -8,24 +8,38 @@
 //	GET  /v1/network              -> network summary JSON
 //	GET  /v1/carriers/{id}        -> carrier attributes JSON
 //	POST /v1/recommend            -> recommendations for a carrier
+//	GET  /metrics                 -> Prometheus text exposition
+//	     /debug/pprof/...        -> net/http/pprof (with -pprof)
 //
 // The recommend body identifies either an existing carrier by id, or a new
 // carrier by eNodeB + frequency:
 //
 //	{"carrier": 123}
 //	{"enodeb": 45, "frequencyMHz": 1900}
+//
+// Errors are JSON objects of the form {"error": "..."}. The server runs
+// with explicit read/write timeouts and drains in-flight requests on
+// SIGINT/SIGTERM before exiting. OPERATIONS.md documents every endpoint,
+// flag and exported metric.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"auric"
+	"auric/internal/obs"
 	"auric/internal/rng"
 	"auric/internal/snapshot"
 )
@@ -40,16 +54,28 @@ type server struct {
 	// with world == nil and derive new carriers from a co-sited donor.
 	world  *auric.World
 	newRNG *rng.RNG
+	// recommendations counts recommendation values served, by voting
+	// support (auric_recommendations_total{supported}).
+	recommendations *obs.CounterVec
+}
+
+// handlerOptions configure the HTTP surface built by newHandler.
+type handlerOptions struct {
+	registry  *obs.Registry // metrics registry served at /metrics
+	pprof     bool          // mount net/http/pprof under /debug/pprof/
+	accessLog *log.Logger   // nil disables access logging
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8400", "listen address")
-		seed    = flag.Uint64("seed", 1, "network generation seed")
-		markets = flag.Int("markets", 4, "number of markets")
-		enbs    = flag.Int("enbs", 30, "eNodeBs per market")
-		load    = flag.String("load", "", "serve a network snapshot (auricgen -save) instead of generating")
-		workers = flag.Int("workers", 0, "train/recommend worker pool size (0 = all CPUs)")
+		addr      = flag.String("addr", "127.0.0.1:8400", "listen address")
+		seed      = flag.Uint64("seed", 1, "network generation seed")
+		markets   = flag.Int("markets", 4, "number of markets")
+		enbs      = flag.Int("enbs", 30, "eNodeBs per market")
+		load      = flag.String("load", "", "serve a network snapshot (auricgen -save) instead of generating")
+		workers   = flag.Int("workers", 0, "train/recommend worker pool size (0 = all CPUs)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		accessLog = flag.Bool("access-log", true, "log one structured line per request")
 	)
 	flag.Parse()
 
@@ -79,16 +105,110 @@ func main() {
 		s.schema, s.net, s.x2 = w.Schema, w.Net, w.X2
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(rw, "ok")
-	})
-	mux.HandleFunc("GET /v1/network", s.handleNetwork)
-	mux.HandleFunc("GET /v1/carriers/", s.handleCarrier)
-	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+	opts := handlerOptions{registry: obs.Default(), pprof: *pprofOn}
+	if *accessLog {
+		opts.accessLog = log.Default()
+	}
+	if err := serve(*addr, newHandler(s, opts)); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	log.Printf("auricd listening on http://%s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+// serve runs an explicit http.Server on addr with header/body timeouts
+// and drains gracefully on SIGINT/SIGTERM. It listens before serving so
+// the logged address is the bound one (supporting -addr :0 for smoke
+// tests).
+func serve(addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveOn(ln, h)
+}
+
+func serveOn(ln net.Listener, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Handler: h,
+		// A recommend call on a very large network can take seconds; the
+		// write timeout bounds it generously while still shedding wedged
+		// clients. The header timeout defeats slowloris-style clients.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("auricd listening on http://%s", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Printf("auricd: signal received, draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		log.Printf("auricd: shutdown complete")
+		return nil
+	}
+}
+
+// newHandler builds the full HTTP surface: routed handlers wrapped in
+// per-route metrics, the /metrics exposition, optional pprof, and
+// optional access logging — shared by main and the handler tests.
+func newHandler(s *server, opts handlerOptions) http.Handler {
+	reg := opts.registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := obs.NewHTTPMetrics(reg)
+	s.recommendations = reg.CounterVec("auric_recommendations_total",
+		"Recommendation values served by POST /v1/recommend, by voting support.", "supported")
+
+	mux := http.NewServeMux()
+	route := func(method, pattern string, h http.HandlerFunc) {
+		mux.Handle(method+" "+pattern, m.Handler(pattern, h))
+		// Fallback for every other method on a known path: JSON 405.
+		// The method-qualified pattern above is more specific, so it
+		// wins whenever the method matches.
+		mux.Handle(pattern, m.Handler(pattern, methodNotAllowed(method)))
+	}
+	route("GET", "/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rw.Write([]byte("ok\n"))
+	})
+	route("GET", "/v1/network", s.handleNetwork)
+	route("GET", "/v1/carriers/", s.handleCarrier)
+	route("POST", "/v1/recommend", s.handleRecommend)
+	mux.Handle("GET /metrics", m.Handler("/metrics", reg.Handler()))
+	mux.Handle("/metrics", m.Handler("/metrics", methodNotAllowed("GET")))
+	// Unknown paths: JSON 404 under a shared route label so scraping
+	// abuse cannot explode the label space.
+	mux.Handle("/", m.HandlerFunc("other", func(rw http.ResponseWriter, _ *http.Request) {
+		writeError(rw, http.StatusNotFound, "no such route")
+	}))
+	if opts.pprof {
+		// pprof owns its sub-toolchain routing (Index serves the named
+		// profiles); symbol accepts POST, so no method qualifiers here.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	var h http.Handler = mux
+	if opts.accessLog != nil {
+		h = obs.AccessLog(opts.accessLog, h)
+	}
+	return h
 }
 
 func (s *server) handleNetwork(rw http.ResponseWriter, _ *http.Request) {
@@ -108,7 +228,7 @@ func (s *server) handleCarrier(rw http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/v1/carriers/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil || id < 0 || id >= len(s.net.Carriers) {
-		http.Error(rw, "unknown carrier", http.StatusNotFound)
+		writeError(rw, http.StatusNotFound, "unknown carrier")
 		return
 	}
 	c := &s.net.Carriers[id]
@@ -147,7 +267,7 @@ type recommendation struct {
 func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 	var req recommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(rw, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
 	var (
@@ -158,7 +278,7 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 	case req.Carrier != nil:
 		id := *req.Carrier
 		if id < 0 || id >= len(s.net.Carriers) {
-			http.Error(rw, "unknown carrier", http.StatusNotFound)
+			writeError(rw, http.StatusNotFound, "unknown carrier")
 			return
 		}
 		carrier = &s.net.Carriers[id]
@@ -168,12 +288,12 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 	case req.ENodeB != nil:
 		enb := *req.ENodeB
 		if enb < 0 || enb >= len(s.net.ENodeBs) {
-			http.Error(rw, "unknown eNodeB", http.StatusNotFound)
+			writeError(rw, http.StatusNotFound, "unknown eNodeB")
 			return
 		}
 		nc := s.newCarrierAt(auric.ENodeBID(enb))
 		if nc == nil {
-			http.Error(rw, "eNodeB hosts no carriers to derive from", http.StatusConflict)
+			writeError(rw, http.StatusConflict, "eNodeB hosts no carriers to derive from")
 			return
 		}
 		if req.FrequencyMHz != 0 {
@@ -181,13 +301,13 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 		}
 		carrier = nc
 	default:
-		http.Error(rw, "specify carrier or enodeb", http.StatusBadRequest)
+		writeError(rw, http.StatusBadRequest, "specify carrier or enodeb")
 		return
 	}
 
 	recs, err := s.engine.Recommend(carrier, neighbors)
 	if err != nil {
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		writeError(rw, http.StatusInternalServerError, err.Error())
 		return
 	}
 	out := make([]recommendation, 0, len(recs))
@@ -200,6 +320,9 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 			Supported:   rec.Supported,
 			Explanation: rec.Explanation,
 		})
+		if s.recommendations != nil {
+			s.recommendations.With(strconv.FormatBool(rec.Supported)).Inc()
+		}
 	}
 	writeJSON(rw, map[string]any{
 		"carrier":         carrier.ID,
@@ -213,6 +336,22 @@ func writeJSON(rw http.ResponseWriter, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		log.Printf("auricd: encoding response: %v", err)
+	}
+}
+
+// writeError sends the JSON error shape every non-2xx response uses.
+func writeError(rw http.ResponseWriter, status int, msg string) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(map[string]string{"error": msg})
+}
+
+// methodNotAllowed is the fallback handler registered on the
+// method-unqualified pattern of every route.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Allow", allow)
+		writeError(rw, http.StatusMethodNotAllowed, "method not allowed; use "+allow)
 	}
 }
 

@@ -2,13 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"auric"
+	"auric/internal/obs"
 	"auric/internal/rng"
 	"auric/internal/snapshot"
 )
@@ -119,6 +124,178 @@ func TestHandleRecommendBadRequests(t *testing.T) {
 		if rec.Code != tc.want {
 			t.Errorf("body %q: status %d, want %d", tc.body, rec.Code, tc.want)
 		}
+	}
+}
+
+// testHandler builds the full middleware stack over a fresh registry so
+// metric assertions see only this test's traffic.
+func testHandler(t *testing.T) (http.Handler, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	return newHandler(testServer(t), handlerOptions{registry: reg}), reg
+}
+
+func do(h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	var r io.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, r))
+	return rec
+}
+
+func TestMuxHealthz(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := do(h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMuxMethodNotAllowed(t *testing.T) {
+	h, _ := testHandler(t)
+	tests := []struct{ method, path string }{
+		{"GET", "/v1/recommend"},
+		{"POST", "/v1/network"},
+		{"DELETE", "/healthz"},
+		{"POST", "/metrics"},
+	}
+	for _, tc := range tests {
+		rec := do(h, tc.method, tc.path, "")
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, rec.Code)
+		}
+		if rec.Header().Get("Allow") == "" {
+			t.Errorf("%s %s: no Allow header", tc.method, tc.path)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+			t.Errorf("%s %s: body %q is not a JSON error", tc.method, tc.path, rec.Body.String())
+		}
+	}
+}
+
+func TestMuxJSONErrors(t *testing.T) {
+	h, _ := testHandler(t)
+	tests := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/recommend", "not json", http.StatusBadRequest},
+		{"POST", "/v1/recommend", `{}`, http.StatusBadRequest},
+		{"POST", "/v1/recommend", `{"carrier": 999999}`, http.StatusNotFound},
+		{"GET", "/v1/carriers/banana", "", http.StatusNotFound},
+		{"GET", "/no/such/route", "", http.StatusNotFound},
+	}
+	for _, tc := range tests {
+		rec := do(h, tc.method, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s %q: status %d, want %d", tc.method, tc.path, tc.body, rec.Code, tc.want)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: content type %q, want application/json", tc.method, tc.path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+			t.Errorf("%s %s: body %q is not a JSON error", tc.method, tc.path, rec.Body.String())
+		}
+	}
+}
+
+// TestMetricsAdvance proves the serving counters move: a recommend call
+// advances auric_http_requests_total and the latency histogram, and the
+// advance is visible in the /metrics exposition.
+func TestMetricsAdvance(t *testing.T) {
+	h, reg := testHandler(t)
+
+	before := do(h, "GET", "/metrics", "").Body.String()
+	if strings.Contains(before, `auric_http_requests_total{code="2xx",route="/v1/recommend"}`) {
+		t.Fatalf("recommend counter present before any recommend call:\n%s", before)
+	}
+
+	if rec := do(h, "POST", "/v1/recommend", `{"carrier": 5}`); rec.Code != http.StatusOK {
+		t.Fatalf("recommend: %d %s", rec.Code, rec.Body.String())
+	}
+	after := do(h, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		`auric_http_requests_total{code="2xx",route="/v1/recommend"} 1`,
+		`auric_http_request_seconds_count{route="/v1/recommend"} 1`,
+		`auric_http_request_seconds_bucket{route="/v1/recommend",le="+Inf"} 1`,
+		`auric_recommendations_total{supported="`,
+		"auric_http_in_flight_requests 1", // the /metrics request itself
+	} {
+		if !strings.Contains(after, want) {
+			t.Errorf("exposition missing %q after recommend; got:\n%s", want, after)
+		}
+	}
+
+	// A 4xx lands in its own status class.
+	do(h, "POST", "/v1/recommend", "not json")
+	if n := obs.NewHTTPMetrics(reg).Requests.With("4xx", "/v1/recommend").Value(); n != 1 {
+		t.Errorf("4xx recommend counter = %d, want 1", n)
+	}
+}
+
+// TestEngineTimersExported asserts the process-global registry carries
+// the pipeline stage timers once an engine has trained — what an
+// operator sees when curling a live auricd's /metrics.
+func TestEngineTimersExported(t *testing.T) {
+	s := testServer(t) // trains an engine, feeding obs.Default()
+	h := newHandler(s, handlerOptions{registry: obs.Default()})
+	body := do(h, "GET", "/metrics", "").Body.String()
+	for _, name := range []string{
+		"auric_engine_train_seconds_count",
+		"auric_engine_train_param_seconds_count",
+		"auric_dataset_label_seconds_count",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	// The engine trained 65 parameter models at least once.
+	for _, f := range obs.Default().Gather() {
+		if f.Name == "auric_engine_train_param_seconds" && f.Series[0].Count < 65 {
+			t.Errorf("train_param count = %d, want >= 65", f.Series[0].Count)
+		}
+	}
+}
+
+// TestServeGracefulShutdown runs the real serving loop on a random port,
+// talks to it over TCP, then delivers SIGTERM and expects a clean (nil)
+// return — the drain path the smoke target exercises end to end.
+func TestServeGracefulShutdown(t *testing.T) {
+	h, _ := testHandler(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, h) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over TCP: %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
 	}
 }
 

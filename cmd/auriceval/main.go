@@ -13,10 +13,12 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"auric/internal/eval"
 	"auric/internal/launch"
 	"auric/internal/netsim"
+	"auric/internal/obs"
 	"auric/internal/report"
 	"auric/internal/stats"
 )
@@ -39,8 +41,12 @@ func main() {
 		samples = flag.Int("samples", 900, "max samples per parameter table (0 = all)")
 		quick   = flag.Bool("quick", true, "shrink the expensive learners (forest size, MLP depth)")
 		workers = flag.Int("workers", 0, "per-parameter worker pool size (0 = all CPUs)")
+		timings = flag.Bool("timings", true, "print a pipeline stage-timing summary after the run")
 	)
 	flag.Parse()
+	if *timings {
+		defer printStageTimings()
+	}
 
 	fmt.Printf("generating network: seed=%d markets=%d eNodeBs/market=%d\n", *seed, *markets, *enbs)
 	w := netsim.Generate(netsim.Options{Seed: *seed, Markets: *markets, ENodeBsPerMarket: *enbs})
@@ -316,6 +322,36 @@ func runScale(e *env) error {
 			enbs, len(w.Net.Carriers), report.Percent(g.Accuracy()), report.Percent(l.Accuracy()))
 	}
 	return nil
+}
+
+// printStageTimings summarizes the pipeline stage timers (the same
+// histograms auricd exports at /metrics) accumulated over the run:
+// engine train/recommend wall-clock, per-parameter fan-out work, dataset
+// labeling and snapshot loads.
+func printStageTimings() {
+	var table [][]string
+	for _, f := range obs.Default().Gather() {
+		if f.Kind != obs.KindHistogram || !strings.HasPrefix(f.Name, "auric_") {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Count == 0 {
+				continue
+			}
+			mean := s.Sum / float64(s.Count)
+			table = append(table, []string{
+				strings.TrimSuffix(strings.TrimPrefix(f.Name, "auric_"), "_seconds"),
+				report.Count(int(s.Count)),
+				fmt.Sprintf("%.3fs", s.Sum),
+				fmt.Sprintf("%.3fms", mean*1000),
+			})
+		}
+	}
+	if len(table) == 0 {
+		return
+	}
+	fmt.Println("==== pipeline stage timings ====")
+	fmt.Print(report.Table([]string{"stage", "calls", "total", "mean"}, table))
 }
 
 func sum(xs []int) int {

@@ -8,14 +8,32 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"auric/internal/dataset"
 	"auric/internal/geo"
 	"auric/internal/learn"
 	"auric/internal/learn/cf"
 	"auric/internal/lte"
+	"auric/internal/obs"
 	"auric/internal/paramspec"
 	"auric/internal/pool"
+)
+
+// Stage timers for the hot pipeline paths, exported at /metrics by
+// cmd/auricd and summarized by cmd/auriceval -timings. The per-parameter
+// histograms are fed from inside the worker pool, so they expose the
+// fan-out granularity (65 fits per Train, one prediction per
+// (parameter, neighbor) job per Recommend).
+var (
+	trainSeconds = obs.Default().Histogram("auric_engine_train_seconds",
+		"Wall-clock seconds per Engine.Train call (all parameter models fitted).", obs.DefBuckets)
+	trainParamSeconds = obs.Default().Histogram("auric_engine_train_param_seconds",
+		"Seconds fitting one parameter model inside the Train worker pool.", obs.DefBuckets)
+	recommendSeconds = obs.Default().Histogram("auric_engine_recommend_seconds",
+		"Wall-clock seconds per Engine.Recommend call (all parameters predicted).", obs.DefBuckets)
+	recommendParamSeconds = obs.Default().Histogram("auric_engine_recommend_param_seconds",
+		"Seconds predicting one (parameter, neighbor) job inside the Recommend worker pool.", obs.DefBuckets)
 )
 
 // Options configure an engine.
@@ -78,6 +96,7 @@ func (e *Engine) LearnerName() string { return e.opts.Learner.Name() }
 // shared attribute base; each model lands in its own slot, so the fitted
 // state is identical at every worker count.
 func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
+	defer obs.Since(trainSeconds, time.Now())
 	e.net, e.x2 = net, x2
 	var keep dataset.Filter
 	if e.opts.Vendor != "" {
@@ -86,7 +105,7 @@ func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
 	}
 	b := dataset.NewBuilder(net, x2, keep)
 	models := make([]learn.Model, e.schema.Len())
-	err := pool.ForEachN(e.opts.Workers, e.schema.Len(), func(pi int) error {
+	err := pool.ForEachNTimed(e.opts.Workers, e.schema.Len(), trainParamSeconds, func(pi int) error {
 		t := b.Labeled(cfg, pi)
 		if e.opts.MaxSamples > 0 {
 			t = t.Sample(e.opts.MaxSamples, uint64(pi)+1)
@@ -145,6 +164,7 @@ func (e *Engine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recomme
 	if e.net == nil {
 		return nil, fmt.Errorf("core: engine not trained")
 	}
+	defer obs.Since(recommendSeconds, time.Now())
 	var scope func(dataset.Site) bool
 	if e.opts.Local {
 		scope = e.scopeFor(c)
@@ -170,7 +190,7 @@ func (e *Engine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recomme
 		}
 	}
 	out := make([]Recommendation, len(jobs))
-	err := pool.ForEachN(e.opts.Workers, len(jobs), func(i int) error {
+	err := pool.ForEachNTimed(e.opts.Workers, len(jobs), recommendParamSeconds, func(i int) error {
 		j := jobs[i]
 		rec, err := e.recommendOne(j.pi, j.attrs, j.neighbor, scope)
 		if err != nil {

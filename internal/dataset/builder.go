@@ -2,11 +2,18 @@ package dataset
 
 import (
 	"sync"
+	"time"
 
 	"auric/internal/geo"
 	"auric/internal/lte"
+	"auric/internal/obs"
 	"auric/internal/paramspec"
 )
+
+// labelSeconds times per-parameter table assembly, the stage upstream of
+// every model fit; it is fed from the Train worker pool concurrently.
+var labelSeconds = obs.Default().Histogram("auric_dataset_label_seconds",
+	"Seconds assembling one per-parameter learning table (Builder.Labeled).", obs.DefBuckets)
 
 // Builder assembles learning tables for many parameters of one network
 // slice without rebuilding the parameter-independent parts. The attribute
@@ -80,6 +87,7 @@ func (b *Builder) pairBase() ([][]string, []Site) {
 // Build(net, x2, cfg, pi, keep) — same rows, labels, values and sites in
 // the same order — but reuses the shared attribute base across calls.
 func (b *Builder) Labeled(cfg *lte.Config, pi int) *Table {
+	defer obs.Since(labelSeconds, time.Now())
 	schema := cfg.Schema()
 	spec := schema.At(pi)
 	t := &Table{Param: pi, Spec: spec}

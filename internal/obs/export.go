@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is a point-in-time snapshot of one labeled series.
+type Series struct {
+	// Labels holds the label values, parallel to the family's LabelNames.
+	Labels []string
+	// Value is the counter or gauge value (unused for histograms).
+	Value float64
+	// Count, Sum and Buckets carry histogram state; Buckets are
+	// per-bucket (non-cumulative) counts parallel to Bounds, plus a
+	// final +Inf bucket.
+	Count   uint64
+	Sum     float64
+	Buckets []uint64
+}
+
+// FamilySnapshot is a point-in-time snapshot of one metric family.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Kind       Kind
+	LabelNames []string
+	Bounds     []float64
+	Series     []Series
+}
+
+// Gather snapshots every family in the registry, sorted by name with
+// series sorted by label values. It is the introspection API behind
+// WritePrometheus and the stage-timing summaries of cmd/auriceval.
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name: f.name, Help: f.help, Kind: f.kind,
+			LabelNames: f.labels, Bounds: f.bounds,
+		}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := Series{Labels: f.valsFor[k]}
+			switch m := f.series[k].(type) {
+			case *Counter:
+				s.Value = float64(m.Value())
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				s.Count = m.Count()
+				s.Sum = m.Sum()
+				s.Buckets = make([]uint64, len(m.buckets))
+				for i := range m.buckets {
+					s.Buckets[i] = m.buckets[i].Load()
+				}
+			}
+			fs.Series = append(fs.Series, s)
+		}
+		f.mu.RUnlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per series, and
+// cumulative _bucket/_sum/_count lines for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case KindHistogram:
+				cum := uint64(0)
+				for i, n := range s.Buckets {
+					cum += n
+					le := "+Inf"
+					if i < len(f.Bounds) {
+						le = formatFloat(f.Bounds[i])
+					}
+					fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.Name, labelString(f.LabelNames, s.Labels, "le", le), cum)
+				}
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(f.LabelNames, s.Labels, "", ""), formatFloat(s.Sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(f.LabelNames, s.Labels, "", ""), s.Count)
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(f.LabelNames, s.Labels, "", ""), formatFloat(s.Value))
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at GET in Prometheus text format, the
+// handler auricd mounts at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(rw)
+	})
+}
+
+// labelString renders {a="x",b="y"} with an optional extra pair (the
+// histogram le label), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics holds the standard per-route serving metrics auricd
+// exposes: request count by route and status class, request latency by
+// route, and a gauge of requests currently being handled.
+type HTTPMetrics struct {
+	// Requests is auric_http_requests_total{route,code}; code is the
+	// status class ("2xx" … "5xx").
+	Requests *CounterVec
+	// Latency is auric_http_request_seconds{route}.
+	Latency *HistogramVec
+	// InFlight is auric_http_in_flight_requests.
+	InFlight *Gauge
+}
+
+// NewHTTPMetrics registers the serving metrics in r (idempotent).
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec("auric_http_requests_total",
+			"HTTP requests served, by route pattern and status class.", "code", "route"),
+		Latency: r.HistogramVec("auric_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.", DefBuckets, "route"),
+		InFlight: r.Gauge("auric_http_in_flight_requests",
+			"HTTP requests currently being handled."),
+	}
+}
+
+// Handler wraps next so every request is counted under the given route
+// label, timed into the latency histogram, and tracked in the in-flight
+// gauge. The route label is the registration pattern, not the raw URL,
+// so path parameters (carrier ids) do not explode the label space.
+func (m *HTTPMetrics) Handler(route string, next http.Handler) http.Handler {
+	latency := m.Latency.With(route)
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		m.InFlight.Inc()
+		defer m.InFlight.Dec()
+		sr := &statusRecorder{ResponseWriter: rw}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		Since(latency, start)
+		m.Requests.With(statusClass(sr.Status()), route).Inc()
+	})
+}
+
+// HandlerFunc is Handler for a http.HandlerFunc.
+func (m *HTTPMetrics) HandlerFunc(route string, next http.HandlerFunc) http.Handler {
+	return m.Handler(route, next)
+}
+
+// AccessLog wraps next with structured access logging on l: one line per
+// request with remote address, method, path, status, response bytes and
+// wall-clock duration. Use it as the outermost middleware so the logged
+// duration covers the full handling time.
+func AccessLog(l *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: rw}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		l.Printf("access remote=%s method=%s path=%s status=%d bytes=%d dur=%s",
+			r.RemoteAddr, r.Method, r.URL.Path, sr.Status(), sr.bytes, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// statusRecorder captures the status code and body size a handler wrote.
+// auricd's handlers write plain JSON bodies, so the wrapper does not
+// forward the optional Flusher/Hijacker interfaces.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += n
+	return n, err
+}
+
+// Status returns the written status code (200 when the handler returned
+// without writing anything, matching net/http's implicit header).
+func (s *statusRecorder) Status() int {
+	if s.status == 0 {
+		return http.StatusOK
+	}
+	return s.status
+}
+
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}

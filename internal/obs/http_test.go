@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMetricsHandler(t *testing.T) {
+	r := New()
+	m := NewHTTPMetrics(r)
+	var sawInFlight float64
+	h := m.Handler("/v1/thing", http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		sawInFlight = m.InFlight.Value()
+		rw.WriteHeader(http.StatusTeapot)
+		rw.Write([]byte("short and stout"))
+	}))
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/thing", nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+
+	if sawInFlight != 1 {
+		t.Errorf("in-flight during handling = %g, want 1", sawInFlight)
+	}
+	if m.InFlight.Value() != 0 {
+		t.Errorf("in-flight after handling = %g, want 0", m.InFlight.Value())
+	}
+	if n := m.Requests.With("4xx", "/v1/thing").Value(); n != 3 {
+		t.Errorf("requests{4xx,/v1/thing} = %d, want 3", n)
+	}
+	if n := m.Latency.With("/v1/thing").Count(); n != 3 {
+		t.Errorf("latency count = %d, want 3", n)
+	}
+}
+
+func TestHTTPMetricsImplicitOK(t *testing.T) {
+	m := NewHTTPMetrics(New())
+	h := m.Handler("/ok", http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Write([]byte("ok")) // no explicit WriteHeader -> 200
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	if n := m.Requests.With("2xx", "/ok").Value(); n != 1 {
+		t.Fatalf("requests{2xx,/ok} = %d, want 1", n)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := log.New(&buf, "", 0)
+	h := AccessLog(l, http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusNotFound)
+		rw.Write([]byte("nope"))
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/missing?x=1", nil))
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/missing", "status=404", "bytes=4", "dur="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := New()
+	r.Counter("handler_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := New().Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %g, want 3", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := New().Histogram("test_seconds", "a histogram", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var buckets []uint64
+	for i := range h.buckets {
+		buckets = append(buckets, h.buckets[i].Load())
+	}
+	for i, want := range []uint64{1, 2, 1, 1} {
+		if buckets[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, buckets[i], want, buckets)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := New().Histogram("test_edges", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(2)
+	h.Observe(3)
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Fatalf("bucket le=1 holds %d, want 1", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Fatalf("bucket le=2 holds %d, want 1", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Fatalf("bucket +Inf holds %d, want 1", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := New()
+	v := r.CounterVec("test_labeled_total", "", "code", "route")
+	v.With("2xx", "/a").Add(3)
+	v.With("5xx", "/a").Inc()
+	if v.With("2xx", "/a").Value() != 3 {
+		t.Fatal("series lookup did not return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label count did not panic")
+		}
+	}()
+	v.With("2xx")
+}
+
+func TestRedeclareKindPanics(t *testing.T) {
+	r := New()
+	r.Counter("test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	c := r.Counter("conc_total", "")
+	v := r.CounterVec("conc_labeled_total", "", "w")
+	h := r.Histogram("conc_seconds", "", DefBuckets)
+	g := r.Gauge("conc_gauge", "")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%2))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				v.With(label).Inc()
+				h.Observe(0.001)
+				g.Add(1)
+				r.Gather() // concurrent scrapes must not race
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if n := v.With("a").Value() + v.With("b").Value(); n != workers*per {
+		t.Fatalf("labeled sum = %d, want %d", n, workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("app_requests_total", "Requests served.").Add(7)
+	r.Gauge("app_temperature", "Current temperature.").Set(36.6)
+	v := r.CounterVec("app_errors_total", "Errors by class.", "code", "route")
+	v.With("5xx", `p"q\r`).Add(2)
+	h := r.Histogram("app_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.\n# TYPE app_requests_total counter\napp_requests_total 7\n",
+		"app_temperature 36.6\n",
+		`app_errors_total{code="5xx",route="p\"q\\r"} 2` + "\n",
+		"# TYPE app_seconds histogram\n",
+		`app_seconds_bucket{le="0.1"} 1` + "\n",
+		`app_seconds_bucket{le="1"} 2` + "\n",
+		`app_seconds_bucket{le="+Inf"} 3` + "\n",
+		"app_seconds_sum 2.55\n",
+		"app_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q; full output:\n%s", want, got)
+		}
+	}
+	// Families must come out name-sorted.
+	if strings.Index(got, "app_errors_total") > strings.Index(got, "app_requests_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestSince(t *testing.T) {
+	h := New().Histogram("since_seconds", "", DefBuckets)
+	Since(h, time.Now().Add(-10*time.Millisecond))
+	if h.Count() != 1 || h.Sum() < 0.009 {
+		t.Fatalf("count=%d sum=%g after 10ms observation", h.Count(), h.Sum())
+	}
+}

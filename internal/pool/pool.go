@@ -12,13 +12,38 @@ package pool
 import (
 	"runtime"
 	"sync"
+	"time"
 )
+
+// Observer receives the wall-clock duration, in seconds, of each
+// completed work item. It is structurally identical to obs.Observer so
+// an *obs.Histogram plugs in directly, without pool depending on the
+// observability layer.
+type Observer interface{ Observe(seconds float64) }
 
 // ForEachN runs fn(i) for every i in [0, n) on a pool of the given number
 // of workers and returns the first error observed (by completion order;
 // remaining items still run to completion). workers <= 0 means
 // runtime.NumCPU(); the pool never uses more workers than items.
 func ForEachN(workers, n int, fn func(i int) error) error {
+	return ForEachNTimed(workers, n, nil, fn)
+}
+
+// ForEachNTimed is ForEachN with per-item timing: when per is non-nil,
+// the duration of every fn(i) call is observed on it (concurrently, from
+// the worker goroutines — obs metrics are safe for that). This is how
+// the engine exports per-parameter fan-out timings without the pool
+// itself knowing about metrics.
+func ForEachNTimed(workers, n int, per Observer, fn func(i int) error) error {
+	if per != nil {
+		inner := fn
+		fn = func(i int) error {
+			start := time.Now()
+			err := inner(i)
+			per.Observe(time.Since(start).Seconds())
+			return err
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}

@@ -2,8 +2,10 @@ package pool
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachNCoversEveryItem(t *testing.T) {
@@ -60,5 +62,36 @@ func TestForEachMapsItems(t *testing.T) {
 func TestForEachNEmpty(t *testing.T) {
 	if err := ForEachN(8, 0, func(int) error { return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+type sumObserver struct {
+	mu    sync.Mutex
+	n     int
+	total float64
+}
+
+func (o *sumObserver) Observe(s float64) {
+	o.mu.Lock()
+	o.n++
+	o.total += s
+	o.mu.Unlock()
+}
+
+func TestForEachNTimedObservesEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var o sumObserver
+		if err := ForEachNTimed(workers, 25, &o, func(i int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if o.n != 25 {
+			t.Fatalf("workers=%d: observed %d items, want 25", workers, o.n)
+		}
+		if o.total < 0.025 {
+			t.Fatalf("workers=%d: total observed %.4fs, want >= 25ms", workers, o.total)
+		}
 	}
 }

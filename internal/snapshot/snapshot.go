@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"auric/internal/lte"
+	"auric/internal/obs"
 	"auric/internal/paramspec"
 )
 
@@ -114,8 +116,14 @@ func Write(w io.Writer, net *lte.Network, cfg *lte.Config) error {
 	return nil
 }
 
+// loadSeconds times full snapshot loads (open + gunzip + decode +
+// rebuild), the startup stage of a snapshot-served auricd.
+var loadSeconds = obs.Default().Histogram("auric_snapshot_load_seconds",
+	"Seconds loading a network snapshot from disk (snapshot.Load).", obs.DefBuckets)
+
 // Load reads a snapshot written by Save.
 func Load(path string) (*lte.Network, *lte.Config, error) {
+	defer obs.Since(loadSeconds, time.Now())
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snapshot: %w", err)

@@ -1,0 +1,55 @@
+#!/bin/sh
+# serve-smoke: boot auricd on a random port, curl /healthz and /metrics,
+# then deliver SIGTERM and require a clean (exit 0) graceful shutdown.
+# This is the end-to-end check behind `make serve-smoke` (OPERATIONS.md).
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "serve-smoke: building auricd"
+go build -o "$tmp/auricd" ./cmd/auricd
+
+log="$tmp/auricd.log"
+"$tmp/auricd" -addr 127.0.0.1:0 -markets 1 -enbs 8 >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+# The server logs its bound address once training finishes.
+addr=""
+i=0
+while [ $i -lt 150 ]; do
+    addr=$(sed -n 's|.*listening on http://\([^ ]*\).*|\1|p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: auricd died during startup:"; cat "$log"; exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: auricd never reported a listen address:"; cat "$log"; exit 1
+fi
+echo "serve-smoke: auricd up on $addr"
+
+curl -fsS "http://$addr/healthz" | grep -q ok
+echo "serve-smoke: /healthz ok"
+
+metrics=$(curl -fsS "http://$addr/metrics")
+for want in auric_http_requests_total auric_http_request_seconds_bucket \
+    auric_engine_train_seconds auric_engine_train_param_seconds \
+    auric_dataset_label_seconds auric_http_in_flight_requests; do
+    echo "$metrics" | grep -q "$want" || {
+        echo "serve-smoke: /metrics missing $want"; exit 1; }
+done
+echo "serve-smoke: /metrics exposes the serving and pipeline metrics"
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "serve-smoke: auricd exited $status on SIGTERM (want 0):"; cat "$log"; exit 1
+fi
+grep -q "shutdown complete" "$log" || {
+    echo "serve-smoke: no graceful-shutdown log line:"; cat "$log"; exit 1; }
+echo "serve-smoke: graceful shutdown clean"
