@@ -6,9 +6,9 @@
 # concurrent scrape + increment.
 GO ?= go
 
-.PHONY: check build vet fmt-check doc-audit test race bench serve-smoke
+.PHONY: check build vet fmt-check doc-audit test race bench bench-smoke bench-json serve-smoke
 
-check: build vet fmt-check doc-audit test race
+check: build vet fmt-check doc-audit test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,18 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# bench-smoke runs every benchmark once (-short skips the near-paper
+# scale) so `make check` catches benchmarks that rot when APIs move,
+# without paying for a measurement-grade run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -short . ./internal/learn/cf/ ./internal/core/
+
+# bench-json runs the hot-path benchmark suite (dataset, CF, engine) and
+# writes the machine-readable results to BENCH_cf.json (see
+# scripts/bench_json.sh for knobs).
+bench-json:
+	./scripts/bench_json.sh
 
 # serve-smoke boots auricd on a random port, exercises /healthz and
 # /metrics over real TCP, and verifies SIGTERM shuts it down cleanly.

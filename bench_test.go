@@ -102,7 +102,7 @@ func BenchmarkDatasetPerCallBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = 0
 		for pi := 0; pi < w.Schema.Len(); pi++ {
-			rows += len(dataset.Build(w.Net, w.X2, w.Current, pi, nil).Rows)
+			rows += dataset.Build(w.Net, w.X2, w.Current, pi, nil).Len()
 		}
 	}
 	b.ReportMetric(float64(rows), "rows")
@@ -119,7 +119,7 @@ func BenchmarkDatasetSharedBuilder(b *testing.B) {
 		builder := dataset.NewBuilder(w.Net, w.X2, nil)
 		rows = 0
 		for pi := 0; pi < w.Schema.Len(); pi++ {
-			rows += len(builder.Labeled(w.Current, pi).Rows)
+			rows += builder.Labeled(w.Current, pi).Len()
 		}
 	}
 	b.ReportMetric(float64(rows), "rows")

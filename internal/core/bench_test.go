@@ -1,0 +1,54 @@
+package core
+
+// Engine-level benchmarks: Train (all parameter models fitted over the
+// shared attribute base) and Recommend (every parameter of one carrier,
+// including pair-wise parameters for its X2 neighbors). These bound the
+// serving path that auricd exposes; results are tracked in EXPERIMENTS.md
+// and BENCH_cf.json.
+
+import (
+	"sync"
+	"testing"
+
+	"auric/internal/netsim"
+)
+
+var (
+	engineBenchOnce  sync.Once
+	engineBenchWorld *netsim.World
+)
+
+func benchWorld(b *testing.B) *netsim.World {
+	b.Helper()
+	engineBenchOnce.Do(func() {
+		engineBenchWorld = netsim.Generate(netsim.Options{Seed: 11, Markets: 4, ENodeBsPerMarket: 30})
+	})
+	return engineBenchWorld
+}
+
+func BenchmarkEngineTrain(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(w.Schema, Options{Workers: 1})
+		if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineRecommend(b *testing.B) {
+	w := benchWorld(b)
+	e := New(w.Schema, Options{Workers: 1})
+	if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+		b.Fatal(err)
+	}
+	c := &w.Net.Carriers[10]
+	nbs := w.X2.CarrierNeighbors(c.ID)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Recommend(c, nbs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

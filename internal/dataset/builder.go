@@ -17,27 +17,27 @@ var labelSeconds = obs.Default().Histogram("auric_dataset_label_seconds",
 
 // Builder assembles learning tables for many parameters of one network
 // slice without rebuilding the parameter-independent parts. The attribute
-// rows and sites are identical for every singular parameter (one sample
+// columns and sites are identical for every singular parameter (one sample
 // per kept carrier) and for every pair-wise parameter (one sample per kept
-// directed X2 relation), so the builder materializes each base once and
-// Labeled only attaches the per-parameter label and value columns.
+// directed X2 relation), so the builder interns each columnar base once
+// and Labeled only attaches the per-parameter label and value columns.
 //
 // Bases are built lazily on first use and are immutable afterwards; a
 // Builder is safe for concurrent use by multiple goroutines, which is how
 // core.Engine.Train shares one builder across its worker pool. Tables
-// returned by Labeled share the base's row and site slices — treat them as
-// read-only, exactly like the output of Build.
+// returned by Labeled share the base's columns, dictionaries and site
+// slices — treat them as read-only, exactly like the output of Build.
 type Builder struct {
 	net  *lte.Network
 	x2   *geo.Graph
 	keep Filter
 
 	singOnce  sync.Once
-	singRows  [][]string
+	singCols  *columns
 	singSites []Site
 
 	pairOnce  sync.Once
-	pairRows  [][]string
+	pairCols  *columns
 	pairSites []Site
 }
 
@@ -48,25 +48,27 @@ func NewBuilder(net *lte.Network, x2 *geo.Graph, keep Filter) *Builder {
 	return &Builder{net: net, x2: x2, keep: keep}
 }
 
-func (b *Builder) singularBase() ([][]string, []Site) {
+func (b *Builder) singularBase() (*columns, []Site) {
 	b.singOnce.Do(func() {
+		b.singCols = newColumns(int(lte.NumAttributes))
 		for ci := range b.net.Carriers {
 			id := lte.CarrierID(ci)
 			if b.keep != nil && !b.keep(id) {
 				continue
 			}
-			b.singRows = append(b.singRows, b.net.Carriers[ci].AttributeVector())
+			b.singCols.appendRow(b.net.Carriers[ci].AttributeVector())
 			b.singSites = append(b.singSites, Site{From: id, To: -1})
 		}
 	})
-	return b.singRows, b.singSites
+	return b.singCols, b.singSites
 }
 
-func (b *Builder) pairBase() ([][]string, []Site) {
+func (b *Builder) pairBase() (*columns, []Site) {
 	if b.x2 == nil {
 		panic("dataset: pair-wise parameter requires an X2 graph")
 	}
 	b.pairOnce.Do(func() {
+		b.pairCols = newColumns(2 * int(lte.NumAttributes))
 		for ci := range b.net.Carriers {
 			id := lte.CarrierID(ci)
 			if b.keep != nil && !b.keep(id) {
@@ -74,30 +76,30 @@ func (b *Builder) pairBase() ([][]string, []Site) {
 			}
 			c := &b.net.Carriers[ci]
 			for _, nb := range b.x2.CarrierNeighbors(id) {
-				b.pairRows = append(b.pairRows, lte.PairAttributeVector(c, &b.net.Carriers[nb]))
+				b.pairCols.appendRow(lte.PairAttributeVector(c, &b.net.Carriers[nb]))
 				b.pairSites = append(b.pairSites, Site{From: id, To: nb})
 			}
 		}
 	})
-	return b.pairRows, b.pairSites
+	return b.pairCols, b.pairSites
 }
 
 // Labeled returns the learning table of parameter pi (a schema index of
 // cfg's schema) over the builder's carriers. It is equivalent to
 // Build(net, x2, cfg, pi, keep) — same rows, labels, values and sites in
-// the same order — but reuses the shared attribute base across calls.
+// the same order — but reuses the shared interned base across calls.
 func (b *Builder) Labeled(cfg *lte.Config, pi int) *Table {
 	defer obs.Since(labelSeconds, time.Now())
 	schema := cfg.Schema()
 	spec := schema.At(pi)
 	t := &Table{Param: pi, Spec: spec}
 	if spec.Kind == paramspec.Singular {
-		rows, sites := b.singularBase()
+		cols, sites := b.singularBase()
 		t.ColNames = lte.AttributeNames()
-		t.Rows = rows
+		t.base = cols
 		t.Sites = sites
-		t.Labels = make([]string, len(rows))
-		t.Values = make([]float64, len(rows))
+		t.Labels = make([]string, cols.n)
+		t.Values = make([]float64, cols.n)
 		for i, s := range sites {
 			v := cfg.Get(s.From, pi)
 			t.Values[i] = v
@@ -105,20 +107,22 @@ func (b *Builder) Labeled(cfg *lte.Config, pi int) *Table {
 		}
 		return t
 	}
-	rows, sites := b.pairBase()
+	cols, sites := b.pairBase()
 	t.ColNames = lte.PairAttributeNames()
+	t.base = cols
 	// Only configured relations carry a sample; unconfigured ones are
-	// skipped exactly as Build does, so the shared base is filtered here.
-	t.Rows = make([][]string, 0, len(rows))
-	t.Labels = make([]string, 0, len(rows))
-	t.Values = make([]float64, 0, len(rows))
-	t.Sites = make([]Site, 0, len(rows))
+	// skipped exactly as Build does, so the shared base is filtered here
+	// through the row-index view.
+	t.rowIdx = make([]int32, 0, cols.n)
+	t.Labels = make([]string, 0, cols.n)
+	t.Values = make([]float64, 0, cols.n)
+	t.Sites = make([]Site, 0, cols.n)
 	for i, s := range sites {
 		v, ok := cfg.GetPair(s.From, s.To, pi)
 		if !ok {
 			continue
 		}
-		t.Rows = append(t.Rows, rows[i])
+		t.rowIdx = append(t.rowIdx, int32(i))
 		t.Labels = append(t.Labels, spec.Format(v))
 		t.Values = append(t.Values, v)
 		t.Sites = append(t.Sites, s)

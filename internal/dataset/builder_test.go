@@ -43,8 +43,12 @@ func TestBuilderSharesBase(t *testing.T) {
 	if len(sing) < 2 {
 		t.Fatal("schema has fewer than two singular parameters")
 	}
-	if &sing[0].Rows[0] != &sing[1].Rows[0] {
+	c0, c1 := sing[0].ColumnCodes(0), sing[1].ColumnCodes(0)
+	if len(c0) == 0 || &c0[0] != &c1[0] {
 		t.Error("singular tables do not share the attribute base")
+	}
+	if sing[0].Dict(0) != sing[1].Dict(0) {
+		t.Error("singular tables do not share the column dictionaries")
 	}
 }
 

@@ -6,6 +6,14 @@
 // attribute vector as predictors. Pair-wise parameters yield one sample
 // per directed X2 relation, with the concatenated carrier+neighbor
 // attribute vector (Sec 4.1).
+//
+// Attribute storage is interned and columnar: every column holds int32
+// codes into a per-column Dict instead of raw strings, built once per
+// attribute base and shared immutably across all tables derived from it
+// (per-parameter labelings, subsets, samples). Learners work on codes —
+// exact matching, contingency counting and distance computation are int32
+// operations over dense arrays — while Row/At recover the string view for
+// explanations and baselines.
 package dataset
 
 import (
@@ -23,7 +31,36 @@ type Site struct {
 	To   lte.CarrierID // -1 for singular parameters
 }
 
-// Table is the learning table of one configuration parameter.
+// columns is an interned columnar attribute base: one Dict and one code
+// slice per column, all of equal length n. A base is mutable only while it
+// is being assembled (Builder construction or Table.AppendRow); once a
+// table over it is shared it must be treated as immutable, which makes it
+// safe to share between tables and goroutines.
+type columns struct {
+	dicts []*Dict
+	codes [][]int32 // [col][row]
+	n     int
+}
+
+func newColumns(ncols int) *columns {
+	c := &columns{dicts: make([]*Dict, ncols), codes: make([][]int32, ncols)}
+	for i := range c.dicts {
+		c.dicts[i] = NewDict()
+	}
+	return c
+}
+
+func (c *columns) appendRow(row []string) {
+	for i, v := range row {
+		c.codes[i] = append(c.codes[i], c.dicts[i].Intern(v))
+	}
+	c.n++
+}
+
+// Table is the learning table of one configuration parameter. Attribute
+// rows live in an interned columnar base reached through the code and
+// string accessors; Labels, Values and Sites are per-sample slices aligned
+// with table row order.
 type Table struct {
 	// Param is the schema index of the parameter.
 	Param int
@@ -31,8 +68,6 @@ type Table struct {
 	Spec paramspec.Param
 	// ColNames names the predictor columns.
 	ColNames []string
-	// Rows holds one categorical attribute row per sample.
-	Rows [][]string
 	// Labels holds the canonical categorical value label per sample
 	// (paramspec.Param.Format of the value).
 	Labels []string
@@ -40,10 +75,96 @@ type Table struct {
 	Values []float64
 	// Sites locates each sample in the network.
 	Sites []Site
+
+	// base holds the interned attribute columns, possibly shared with
+	// other tables built from the same Builder.
+	base *columns
+	// rowIdx maps table rows to base rows; nil means the identity (table
+	// row i is base row i), the common case for singular tables.
+	rowIdx []int32
+	// mutable marks a hand-assembled table whose base AppendRow may still
+	// grow; tables from Builder or Subset share their base and are not.
+	mutable bool
 }
 
 // Len reports the number of samples.
-func (t *Table) Len() int { return len(t.Rows) }
+func (t *Table) Len() int {
+	if t.rowIdx != nil {
+		return len(t.rowIdx)
+	}
+	if t.base != nil {
+		return t.base.n
+	}
+	return 0
+}
+
+// NumCols reports the number of predictor columns.
+func (t *Table) NumCols() int { return len(t.ColNames) }
+
+func (t *Table) baseRow(i int) int32 {
+	if t.rowIdx != nil {
+		return t.rowIdx[i]
+	}
+	return int32(i)
+}
+
+// Code returns the interned code of sample i in column c.
+func (t *Table) Code(i, c int) int32 {
+	return t.base.codes[c][t.baseRow(i)]
+}
+
+// At returns the string value of sample i in column c.
+func (t *Table) At(i, c int) string {
+	return t.base.dicts[c].String(t.Code(i, c))
+}
+
+// Row materializes the string attribute vector of sample i (a fresh
+// slice; the columnar codes remain the primary representation).
+func (t *Table) Row(i int) []string {
+	out := make([]string, len(t.ColNames))
+	for c := range out {
+		out[c] = t.At(i, c)
+	}
+	return out
+}
+
+// Dict returns the dictionary of column c. Treat it as read-only.
+func (t *Table) Dict(c int) *Dict { return t.base.dicts[c] }
+
+// ColumnCodes returns the codes of column c in table row order. Identity
+// views return the shared base slice without copying; derived views
+// (Subset, pair-wise labelings) gather a fresh slice. Either way the
+// result must be treated as read-only.
+func (t *Table) ColumnCodes(c int) []int32 {
+	col := t.base.codes[c]
+	if t.rowIdx == nil {
+		return col
+	}
+	out := make([]int32, len(t.rowIdx))
+	for j, i := range t.rowIdx {
+		out[j] = col[i]
+	}
+	return out
+}
+
+// AppendRow interns one attribute row into a hand-assembled table (test
+// fixtures, ad-hoc baselines). It panics on tables that share a Builder
+// base or were derived by Subset — those are immutable by contract — and
+// on a row width that does not match ColNames. Labels, Values and Sites
+// are appended directly by the caller.
+func (t *Table) AppendRow(row []string) {
+	if len(row) != len(t.ColNames) {
+		panic(fmt.Sprintf("dataset: AppendRow width %d, want %d", len(row), len(t.ColNames)))
+	}
+	if t.base == nil {
+		t.base = newColumns(len(t.ColNames))
+		t.mutable = true
+	}
+	if !t.mutable || t.rowIdx != nil {
+		panic("dataset: AppendRow on a shared or derived table")
+	}
+	t.base.appendRow(row)
+}
 
 // Filter selects the carriers included in a table build; nil includes all.
 type Filter func(lte.CarrierID) bool
@@ -67,15 +188,15 @@ func Build(net *lte.Network, x2 *geo.Graph, cfg *lte.Config, pi int, keep Filter
 }
 
 // Subset returns a new table containing the rows at the given indices
-// (shared backing rows, fresh slices).
+// (shared columnar base, fresh per-sample slices).
 func (t *Table) Subset(idx []int) *Table {
-	out := &Table{Param: t.Param, Spec: t.Spec, ColNames: t.ColNames}
-	out.Rows = make([][]string, len(idx))
+	out := &Table{Param: t.Param, Spec: t.Spec, ColNames: t.ColNames, base: t.base}
+	out.rowIdx = make([]int32, len(idx))
 	out.Labels = make([]string, len(idx))
 	out.Values = make([]float64, len(idx))
 	out.Sites = make([]Site, len(idx))
 	for j, i := range idx {
-		out.Rows[j] = t.Rows[i]
+		out.rowIdx[j] = t.baseRow(i)
 		out.Labels[j] = t.Labels[i]
 		out.Values[j] = t.Values[i]
 		out.Sites[j] = t.Sites[i]

@@ -163,7 +163,10 @@ func TestDistinctLabels(t *testing.T) {
 }
 
 func TestFoldsPanicsOnBadK(t *testing.T) {
-	tb := &Table{Rows: make([][]string, 3), Labels: make([]string, 3)}
+	tb := &Table{ColNames: []string{"a"}, Labels: make([]string, 3)}
+	for i := 0; i < 3; i++ {
+		tb.AppendRow([]string{"v"})
+	}
 	defer func() {
 		if recover() == nil {
 			t.Error("Folds(1) did not panic")

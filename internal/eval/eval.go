@@ -91,7 +91,7 @@ func CrossValidate(t *dataset.Table, l learn.Learner, opts CVOptions, onMismatch
 			return res, err
 		}
 		for _, i := range test {
-			p := m.Predict(t.Rows[i])
+			p := m.Predict(t.Row(i))
 			res.Total++
 			if p.Label == t.Labels[i] {
 				res.Correct++
@@ -146,11 +146,11 @@ func CrossValidateLocal(t *dataset.Table, l learn.Learner, net *lte.Network, x2 
 			if okScoped {
 				h := hood(t.Sites[i].From)
 				self := t.Sites[i].From
-				p = sm.PredictScoped(t.Rows[i], func(s dataset.Site) bool {
+				p = sm.PredictScoped(t.Row(i), func(s dataset.Site) bool {
 					return s.From != self && h[s.From]
 				})
 			} else {
-				p = m.Predict(t.Rows[i])
+				p = m.Predict(t.Row(i))
 			}
 			res.Total++
 			if p.Label == t.Labels[i] {

@@ -48,10 +48,10 @@ func TestFeedbackWeightedVoting(t *testing.T) {
 				// of feedback is to stop recommending leftovers.
 				optimal := spec.Format(w.Optimal.Get(tb.Sites[i].From, pi))
 				total++
-				if model.Predict(tb.Rows[i]).Label == optimal {
+				if model.Predict(tb.Row(i)).Label == optimal {
 					plainHits++
 				}
-				if model.PredictWeighted(tb.Rows[i], nil, weight).Label == optimal {
+				if model.PredictWeighted(tb.Row(i), nil, weight).Label == optimal {
 					weightedHits++
 				}
 			}
@@ -79,8 +79,8 @@ func TestPredictWeightedSemantics(t *testing.T) {
 	// Uniform weights reproduce the unweighted prediction.
 	uniform := func(dataset.Site) float64 { return 1 }
 	for i := 0; i < 40; i++ {
-		a := model.Predict(tb.Rows[i]).Label
-		b := model.PredictWeighted(tb.Rows[i], nil, uniform).Label
+		a := model.Predict(tb.Row(i)).Label
+		b := model.PredictWeighted(tb.Row(i), nil, uniform).Label
 		if a != b {
 			t.Fatalf("uniform weights changed prediction %d: %q vs %q", i, a, b)
 		}
@@ -88,7 +88,7 @@ func TestPredictWeightedSemantics(t *testing.T) {
 	// All-zero weights exclude everything and fall through to the global
 	// default without panicking.
 	zero := func(dataset.Site) float64 { return 0 }
-	if p := model.PredictWeighted(tb.Rows[0], nil, zero); p.Label == "" {
+	if p := model.PredictWeighted(tb.Row(0), nil, zero); p.Label == "" {
 		t.Error("all-zero weights produced an empty prediction")
 	}
 }

@@ -5,6 +5,17 @@
 // recommendation is the value supported by at least 75% of the matching
 // carriers.
 //
+// The learner runs entirely on the dataset package's interned columnar
+// codes: the chi-square pass counts into dense [cardinality x labels]
+// arrays, exact matching on the full dependent set is a code-keyed index
+// lookup, and every relaxed level of the ladder intersects per-column
+// sorted posting lists (smallest list first) instead of scanning the
+// table. Matching, voting and confidences are exactly equivalent to the
+// string-matching formulation — a code comparison succeeds iff the string
+// comparison would — so predictions and explanations are byte-identical
+// to the naive implementation (the equivalence tests in this package pin
+// that down).
+//
 // The paper leaves two situations unspecified, which this implementation
 // resolves as follows (every choice is visible in the prediction's
 // explanation, and DESIGN.md discusses the deviations):
@@ -76,14 +87,31 @@ func (o Options) withDefaults() Options {
 }
 
 // Fit implements learn.Learner: it runs the chi-square test of Eq. (3)
-// between every attribute column and the parameter values, keeps the
-// dependent columns ordered by statistic (strongest first), and indexes
-// the training rows by their dependent-attribute key.
+// between every attribute column and the parameter values over dense
+// code-indexed count arrays, keeps the dependent columns ordered by
+// statistic (strongest first), and builds the two match structures — the
+// exact index over the full dependent-set key and one sorted posting list
+// per (dependent column, code) for the relaxation ladder.
 func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	if t.Len() == 0 {
 		return nil, learn.ErrEmptyTable
 	}
 	opts := l.Opts.withDefaults()
+	n := t.Len()
+	ncols := t.NumCols()
+
+	// Intern the label column of this table view; votes tally into dense
+	// arrays indexed by these codes.
+	labelDict := dataset.NewDict()
+	y := make([]int32, n)
+	for i, lab := range t.Labels {
+		y[i] = labelDict.Intern(lab)
+	}
+	numLabels := labelDict.Len()
+	labels := make([]string, numLabels)
+	for c := range labels {
+		labels[c] = labelDict.String(int32(c))
+	}
 
 	type depCol struct {
 		col  int
@@ -91,10 +119,13 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 		// table size, comparable across attribute cardinalities
 	}
 	var deps []depCol
-	for c := range t.ColNames {
-		ct := stats.NewContingency()
-		for i, row := range t.Rows {
-			ct.Add(row[c], t.Labels[i])
+	colCodes := make([][]int32, ncols)
+	for c := 0; c < ncols; c++ {
+		codes := t.ColumnCodes(c)
+		colCodes[c] = codes
+		ct := stats.NewCountTable(t.Dict(c).Len(), numLabels)
+		for i, code := range codes {
+			ct.Add(int(code), int(y[i]))
 		}
 		stat, df := ct.ChiSquare()
 		if df == 0 {
@@ -108,58 +139,76 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	// significance test (above) follows the paper's raw chi-square
 	// criterion; the *ordering* uses Cramér's V so that high-cardinality
 	// attributes (e.g. tracking area) rank by how much they actually
-	// explain, not by their degree-of-freedom count.
-	for i := 1; i < len(deps); i++ {
-		for j := i; j > 0 && deps[j].stat > deps[j-1].stat; j-- {
-			deps[j], deps[j-1] = deps[j-1], deps[j]
-		}
-	}
-	m := &Model{t: t, opts: opts}
+	// explain, not by their degree-of-freedom count. The stable sort keeps
+	// equal statistics in column order.
+	sort.SliceStable(deps, func(a, b int) bool { return deps[a].stat > deps[b].stat })
+
+	m := &Model{t: t, opts: opts, labels: labels, labelCodes: y}
 	for _, d := range deps {
 		m.deps = append(m.deps, d.col)
 		m.depStats = append(m.depStats, d.stat)
 	}
-	m.index = make(map[string][]int32, t.Len()/2)
-	for i, row := range t.Rows {
-		k := key(row, m.deps)
-		m.index[k] = append(m.index[k], int32(i))
+
+	// Inverted index: per dependent column, code -> ascending row list.
+	// Lists are built in row order, so they are sorted by construction.
+	m.post = make([][][]int32, ncols)
+	for _, d := range m.deps {
+		p := make([][]int32, t.Dict(d).Len())
+		for i, code := range colCodes[d] {
+			p[code] = append(p[code], int32(i))
+		}
+		m.post[d] = p
+	}
+	m.all = make([]int32, n)
+	for i := range m.all {
+		m.all[i] = int32(i)
+	}
+
+	// Exact-match index over the canonical full dependent-set code key.
+	m.index = make(map[string][]int32, n/2)
+	var kb []byte
+	for i := 0; i < n; i++ {
+		kb = kb[:0]
+		for _, d := range m.deps {
+			kb = appendCode(kb, colCodes[d][i])
+		}
+		m.index[string(kb)] = append(m.index[string(kb)], int32(i))
 	}
 	m.globalLabel, m.globalShare = learn.MajorityLabel(t.Labels)
-	m.fitValueShares()
+	m.fitValueShares(colCodes, y, numLabels)
 	return m, nil
 }
 
 // fitValueShares records, for every dependent column, the population share
-// of each category. Relaxation uses these to recognize rare attribute
+// of each category code. Relaxation uses these to recognize rare attribute
 // values (FirstNet carriers, NB-IoT, border cells): a carrier holding a
 // rare value is configured by that value's own profile, so the attribute
 // must be among the last to be relaxed away — dropping it would let the
 // majority population outvote the rare one (the Sec 3.2 failure mode of
 // classic classifiers that Auric exists to avoid).
-func (m *Model) fitValueShares() {
-	m.valueShare = make([]map[string]float64, len(m.t.ColNames))
-	m.valuePin = make([]map[string]float64, len(m.t.ColNames))
+func (m *Model) fitValueShares(colCodes [][]int32, y []int32, numLabels int) {
+	m.valueShare = make([][]float64, m.t.NumCols())
+	m.valuePin = make([][]float64, m.t.NumCols())
 	n := float64(m.t.Len())
 	for _, d := range m.deps {
-		counts := make(map[string]map[string]int)
-		totals := make(map[string]int)
-		for i, row := range m.t.Rows {
-			v := row[d]
-			c := counts[v]
-			if c == nil {
-				c = make(map[string]int, 4)
-				counts[v] = c
-			}
-			c[m.t.Labels[i]]++
-			totals[v]++
+		card := m.t.Dict(d).Len()
+		counts := make([]int, card*numLabels)
+		totals := make([]int, card)
+		for i, code := range colCodes[d] {
+			counts[int(code)*numLabels+int(y[i])]++
+			totals[code]++
 		}
-		shares := make(map[string]float64, len(totals))
-		pins := make(map[string]float64, len(totals))
-		for v, total := range totals {
+		shares := make([]float64, card)
+		pins := make([]float64, card)
+		for v := 0; v < card; v++ {
+			total := totals[v]
+			if total == 0 {
+				continue // dictionary code absent from this table view
+			}
 			shares[v] = float64(total) / n
 			best := 0
-			for _, c := range counts[v] {
-				if c > best {
+			for lb := 0; lb < numLabels; lb++ {
+				if c := counts[v*numLabels+lb]; c > best {
 					best = c
 				}
 			}
@@ -179,7 +228,7 @@ const rareValueShare = 0.15
 // each group columns rank by association strength (Cramér's V). The
 // ladder drops from the tail, so the weakest common-valued attribute goes
 // first and the strongest rare-valued one goes last.
-func (m *Model) queryDeps(row []string) []int {
+func (m *Model) queryDeps(codes []int32) []int {
 	type scored struct {
 		col  int
 		rare bool
@@ -187,12 +236,16 @@ func (m *Model) queryDeps(row []string) []int {
 	}
 	out := make([]scored, len(m.deps))
 	for i, d := range m.deps {
-		share, seen := m.valueShare[d][row[d]]
+		var share, pin float64
+		if c := codes[d]; c >= 0 && int(c) < len(m.valueShare[d]) {
+			share = m.valueShare[d][c]
+			pin = m.valuePin[d][c]
+		}
 		// "Profile" values are both rare in the population and strongly
 		// associated with one parameter value — the signature of special
-		// carriers (FirstNet, NB-IoT) with their own settings.
-		profile := seen && share < rareValueShare &&
-			m.valuePin[d][row[d]] >= m.opts.Support
+		// carriers (FirstNet, NB-IoT) with their own settings. share > 0
+		// means the value was actually observed in the training table.
+		profile := share > 0 && share < rareValueShare && pin >= m.opts.Support
 		out[i] = scored{col: d, rare: profile, v: m.depStats[i]}
 	}
 	sort.SliceStable(out, func(a, b int) bool {
@@ -208,32 +261,43 @@ func (m *Model) queryDeps(row []string) []int {
 	return deps
 }
 
-func key(row []string, deps []int) string {
-	var sb strings.Builder
-	for _, d := range deps {
-		sb.WriteString(row[d])
-		sb.WriteByte('\x1f')
-	}
-	return sb.String()
+// appendCode serializes one column code into a match-index key.
+func appendCode(b []byte, c int32) []byte {
+	return append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
 }
 
 // Model is a fitted collaborative-filtering model. After Fit returns, a
 // Model is immutable: Predict, PredictScoped and PredictWeighted only read
 // the fitted state (the training table, the dependency ordering, the match
-// index and the value-share maps) and allocate their working storage per
-// call, so one Model is safe for concurrent use by any number of
-// goroutines — the engine's recommendation fan-out relies on this.
+// index, the posting lists and the value-share tables) and allocate their
+// working storage per call, so one Model is safe for concurrent use by any
+// number of goroutines — the engine's recommendation fan-out relies on
+// this.
 type Model struct {
 	t        *dataset.Table
 	opts     Options
 	deps     []int     // dependent columns, strongest first
 	depStats []float64 // matching Cramér's V per dependent column
-	index    map[string][]int32
-	// valueShare[col][category] is the category's population share;
-	// valuePin[col][category] the top-label share among rows holding it
-	// (both drive query-time relaxation ordering).
-	valueShare []map[string]float64
-	valuePin   []map[string]float64
+
+	labels     []string // label string per label code, first-seen order
+	labelCodes []int32  // label code per training row
+
+	// index maps the canonical full dependent-set code key to the rows
+	// holding it — the drop-0 fast path.
+	index map[string][]int32
+	// post[c][code] lists the rows whose column c holds code, ascending;
+	// populated for dependent columns only. Relaxed ladder levels
+	// intersect these lists smallest-first.
+	post [][][]int32
+	// all is the ascending list of every row: the posting list of the
+	// empty dependent set.
+	all []int32
+
+	// valueShare[col][code] is the code's population share;
+	// valuePin[col][code] the top-label share among rows holding it
+	// (both drive query-time relaxation ordering; dependent columns only).
+	valueShare [][]float64
+	valuePin   [][]float64
 
 	globalLabel string
 	globalShare float64
@@ -254,6 +318,20 @@ func (m *Model) DependentColumnNames() []string {
 		out[i] = m.t.ColNames[d]
 	}
 	return out
+}
+
+// encode translates a query row into dictionary codes for the dependent
+// columns (-1 for values never seen in training, which match no rows —
+// exactly like a failed string comparison).
+func (m *Model) encode(row []string) []int32 {
+	codes := make([]int32, m.t.NumCols())
+	for i := range codes {
+		codes[i] = -1
+	}
+	for _, d := range m.deps {
+		codes[d] = m.t.Dict(d).Code(row[d])
+	}
+	return codes
 }
 
 // Predict implements learn.Model.
@@ -280,10 +358,11 @@ func (m *Model) PredictScoped(row []string, allowed func(dataset.Site) bool) lea
 // performance in the past"). Weights <= 0 exclude a site; a nil weight
 // counts every site equally.
 func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) learn.Prediction {
-	qdeps := m.queryDeps(row)
-	globalP, globalLevel, globalDecisive := m.ladder(row, qdeps, nil, weight)
+	codes := m.encode(row)
+	qdeps := m.queryDeps(codes)
+	globalP, globalLevel, globalDecisive := m.ladder(row, codes, qdeps, nil, weight)
 	if allowed != nil {
-		localP, localLevel, localDecisive := m.ladder(row, qdeps, allowed, weight)
+		localP, localLevel, localDecisive := m.ladder(row, codes, qdeps, allowed, weight)
 		if localDecisive && (!globalDecisive || localLevel <= globalLevel) {
 			return localP
 		}
@@ -305,14 +384,14 @@ func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, w
 // (per the query's observed values, qdeps order) per level until a
 // decisive pool appears. It returns the first decisive vote and its level,
 // or (when no level is decisive) the most specific thin vote.
-func (m *Model) ladder(row []string, qdeps []int, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) (learn.Prediction, int, bool) {
+func (m *Model) ladder(row []string, codes []int32, qdeps []int, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) (learn.Prediction, int, bool) {
 	var (
 		fallback      learn.Prediction
 		fallbackLevel = -1
 	)
 	for drop := 0; drop <= len(qdeps); drop++ {
 		deps := qdeps[:len(qdeps)-drop]
-		p, decisive := m.vote(row, deps, drop == 0, allowed, weight, drop)
+		p, decisive := m.vote(row, codes, deps, drop == 0, allowed, weight, drop)
 		if p.Label == "" {
 			continue // no matches at this relaxation level
 		}
@@ -326,23 +405,19 @@ func (m *Model) ladder(row []string, qdeps []int, allowed func(dataset.Site) boo
 	return fallback, fallbackLevel, false
 }
 
-// vote tallies the matching carriers for row on deps and reports whether
-// the pool is decisive: big enough (MinMatches), or small but agreeing at
-// the support threshold with at least two carriers — the
+// vote tallies the matching carriers for the query on deps and reports
+// whether the pool is decisive: big enough (MinMatches), or small but
+// agreeing at the support threshold with at least two carriers — the
 // rare-combination case of Sec 3.2 (few carriers, one distinctive value).
-func (m *Model) vote(row []string, deps []int, full bool, allowed func(dataset.Site) bool, weight func(dataset.Site) float64, drop int) (learn.Prediction, bool) {
-	matches := m.matches(row, deps, full, allowed)
+func (m *Model) vote(row []string, codes []int32, deps []int, full bool, allowed func(dataset.Site) bool, weight func(dataset.Site) float64, drop int) (learn.Prediction, bool) {
+	matches := m.matches(codes, deps, full, allowed)
 	if len(matches) == 0 {
 		return learn.Prediction{}, false
 	}
 	var label string
 	var share float64
 	if weight == nil {
-		labels := make([]string, len(matches))
-		for i, idx := range matches {
-			labels[i] = m.t.Labels[idx]
-		}
-		label, share = learn.MajorityLabel(labels)
+		label, share = m.majorityOf(matches)
 	} else {
 		label, share = m.weightedMajority(matches, weight)
 		if label == "" {
@@ -380,54 +455,77 @@ func (m *Model) Supported(row []string) (learn.Prediction, bool) {
 	return p, p.Confidence >= m.opts.Support
 }
 
+// majorityOf tallies match labels into a dense per-code count array and
+// returns the most frequent label and its share. Ties break to the
+// lexicographically smallest label, matching learn.MajorityLabel.
+func (m *Model) majorityOf(matches []int32) (string, float64) {
+	counts := make([]int, len(m.labels))
+	for _, idx := range matches {
+		counts[m.labelCodes[idx]]++
+	}
+	best, bestN := -1, 0
+	for l, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if n > bestN || (n == bestN && m.labels[l] < m.labels[best]) {
+			best, bestN = l, n
+		}
+	}
+	return m.labels[best], float64(bestN) / float64(len(matches))
+}
+
 // weightedMajority tallies match labels with per-site weights and returns
 // the heaviest label and its weight share. Ties break to the
 // lexicographically smallest label, matching learn.MajorityLabel.
 func (m *Model) weightedMajority(matches []int32, weight func(dataset.Site) float64) (string, float64) {
-	tally := make(map[string]float64, 8)
+	tally := make([]float64, len(m.labels))
 	total := 0.0
 	for _, idx := range matches {
 		w := weight(m.t.Sites[idx])
 		if w <= 0 {
 			continue
 		}
-		tally[m.t.Labels[idx]] += w
+		tally[m.labelCodes[idx]] += w
 		total += w
 	}
 	if total == 0 {
 		return "", 0
 	}
-	best, bestW := "", -1.0
+	best := -1
 	for l, w := range tally {
-		if w > bestW || (w == bestW && l < best) {
-			best, bestW = l, w
+		if w == 0 {
+			continue
+		}
+		if best < 0 || w > tally[best] || (w == tally[best] && m.labels[l] < m.labels[best]) {
+			best = l
 		}
 	}
-	return best, bestW / total
+	return m.labels[best], tally[best] / total
 }
 
-// matches returns the training rows matching `row` on deps. When full is
-// true the precomputed index is used; relaxed sets scan linearly (they are
-// rare). allowed, when non-nil, filters by site.
-func (m *Model) matches(row []string, deps []int, full bool, allowed func(dataset.Site) bool) []int32 {
+// matches returns the training rows matching the query codes on deps, in
+// ascending row order. The full dependent set resolves through the exact
+// code-key index; relaxed sets intersect the per-column posting lists
+// smallest-first; the empty set is every row. allowed, when non-nil,
+// filters by site.
+func (m *Model) matches(codes []int32, deps []int, full bool, allowed func(dataset.Site) bool) []int32 {
 	var cands []int32
-	if full {
+	switch {
+	case full:
 		// The full dependent set is order-insensitive; the index is keyed
-		// on the canonical m.deps order.
-		cands = m.index[key(row, m.deps)]
-	} else {
-		for i := range m.t.Rows {
-			ok := true
-			for _, d := range deps {
-				if m.t.Rows[i][d] != row[d] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				cands = append(cands, int32(i))
-			}
+		// on the canonical m.deps order. Unseen codes (-1) serialize to a
+		// key no training row produced, so they miss — exactly like a
+		// failed string comparison on every row.
+		kb := make([]byte, 0, 4*len(m.deps))
+		for _, d := range m.deps {
+			kb = appendCode(kb, codes[d])
 		}
+		cands = m.index[string(kb)]
+	case len(deps) == 0:
+		cands = m.all
+	default:
+		cands = m.intersect(codes, deps)
 	}
 	if allowed == nil {
 		return cands
@@ -439,6 +537,85 @@ func (m *Model) matches(row []string, deps []int, full bool, allowed func(datase
 		}
 	}
 	return out
+}
+
+// intersect computes the ascending intersection of the posting lists for
+// the query's codes on deps, starting from the smallest list. Any unseen
+// or empty posting short-circuits to no matches.
+func (m *Model) intersect(codes []int32, deps []int) []int32 {
+	lists := make([][]int32, 0, len(deps))
+	for _, d := range deps {
+		code := codes[d]
+		p := m.post[d]
+		if code < 0 || int(code) >= len(p) {
+			return nil
+		}
+		l := p[code]
+		if len(l) == 0 {
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	cur := lists[0]
+	for i, next := range lists[1:] {
+		var dst []int32
+		if i == 0 {
+			// First round writes a fresh buffer: cur is a shared posting
+			// list and must not be overwritten.
+			dst = make([]int32, 0, len(cur))
+		} else {
+			// Later rounds compact in place: the write index never passes
+			// the read index of cur.
+			dst = cur[:0]
+		}
+		cur = intersectSorted(dst, cur, next)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// intersectSorted appends the intersection of ascending lists a and b to
+// dst. When b is much longer than a it binary-searches b (shrinking the
+// window as a advances) instead of merging linearly.
+func intersectSorted(dst, a, b []int32) []int32 {
+	if len(b) > 16*len(a) {
+		for _, x := range a {
+			lo, hi := 0, len(b)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if b[mid] < x {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo == len(b) {
+				break
+			}
+			if b[lo] == x {
+				dst = append(dst, x)
+			}
+			b = b[lo:]
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
 }
 
 func (m *Model) explain(row []string, deps []int, label string, share float64, n, drop int) string {

@@ -55,7 +55,7 @@ func TestRecoversRareValues(t *testing.T) {
 	tb := learntest.RuleTable(500, 0, 6)
 	// Inject 4 rows of a rare combination with a unique value.
 	for i := 0; i < 4; i++ {
-		tb.Rows = append(tb.Rows, []string{"urban", "3500", fmt.Sprint(i), fmt.Sprint(i)})
+		tb.AppendRow([]string{"urban", "3500", fmt.Sprint(i), fmt.Sprint(i)})
 		tb.Labels = append(tb.Labels, "99")
 		tb.Values = append(tb.Values, 99)
 		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(9000 + i), To: -1})
@@ -75,7 +75,7 @@ func TestSupportThreshold(t *testing.T) {
 	// the 75% threshold.
 	tb := &dataset.Table{Spec: learntest.Spec(), ColNames: []string{"a", "b"}}
 	add := func(a, b, label string, site int) {
-		tb.Rows = append(tb.Rows, []string{a, b})
+		tb.AppendRow([]string{a, b})
 		tb.Labels = append(tb.Labels, label)
 		tb.Values = append(tb.Values, 0)
 		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(site), To: -1})
@@ -125,7 +125,7 @@ func TestPredictScoped(t *testing.T) {
 	// values; scoping to the region must recover the local value.
 	tb := &dataset.Table{Spec: learntest.Spec(), ColNames: []string{"a", "b"}}
 	add := func(a, b, label string, site int) {
-		tb.Rows = append(tb.Rows, []string{a, b})
+		tb.AppendRow([]string{a, b})
 		tb.Labels = append(tb.Labels, label)
 		tb.Values = append(tb.Values, 0)
 		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(site), To: -1})
@@ -159,7 +159,7 @@ func TestPredictScoped(t *testing.T) {
 func TestScopedEmptyFallsBackToGlobal(t *testing.T) {
 	tb := learntest.RuleTable(200, 0, 8)
 	m, _ := New().Fit(tb)
-	p := m.(*Model).PredictScoped(tb.Rows[0], func(dataset.Site) bool { return false })
+	p := m.(*Model).PredictScoped(tb.Row(0), func(dataset.Site) bool { return false })
 	if p.Label != tb.Labels[0] {
 		t.Errorf("empty scope should fall back to the global vote; got %q want %q",
 			p.Label, tb.Labels[0])
@@ -175,7 +175,7 @@ func TestNoDependentAttributes(t *testing.T) {
 	r := rng.New(9)
 	tb := &dataset.Table{Spec: learntest.Spec(), ColNames: []string{"a"}}
 	for i := 0; i < 300; i++ {
-		tb.Rows = append(tb.Rows, []string{fmt.Sprint(r.Intn(3))})
+		tb.AppendRow([]string{fmt.Sprint(r.Intn(3))})
 		label := "1"
 		if i%3 == 0 {
 			label = "2"

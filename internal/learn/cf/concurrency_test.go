@@ -28,7 +28,10 @@ func TestConcurrentPredict(t *testing.T) {
 
 	// Reference predictions computed serially; every goroutine must
 	// reproduce them exactly.
-	rows := tb.Rows[:24]
+	rows := make([][]string, 24)
+	for i := range rows {
+		rows[i] = tb.Row(i)
+	}
 	scope := func(s dataset.Site) bool { return s.From%2 == 0 }
 	wantPlain := make([]string, len(rows))
 	wantScoped := make([]string, len(rows))

@@ -63,7 +63,7 @@ func TestDeterministicForSeed(t *testing.T) {
 	m1, _ := fastLearner().Fit(tb)
 	m2, _ := fastLearner().Fit(tb)
 	for i := 0; i < 40; i++ {
-		if m1.Predict(tb.Rows[i]).Label != m2.Predict(tb.Rows[i]).Label {
+		if m1.Predict(tb.Row(i)).Label != m2.Predict(tb.Row(i)).Label {
 			t.Fatal("same-seed forests disagree")
 		}
 	}

@@ -6,7 +6,8 @@
 // which they differ (each differing column contributes 1² + 1²), so
 // neighbor ranking by Euclidean distance is identical to ranking by
 // column-wise Hamming distance — which is what this implementation
-// computes, avoiding the dense encoding entirely. This also exhibits the
+// computes over the table's interned column codes, avoiding the dense
+// encoding entirely. This also exhibits the
 // weakness the paper points out (Sec 3.2): attributes irrelevant to the
 // parameter still contribute to the distance and can push truly similar
 // carriers apart.
@@ -65,14 +66,19 @@ func (m *Model) Predict(row []string) learn.Prediction {
 		idx, dist int
 	}
 	cands := make([]cand, m.t.Len())
-	for i, tr := range m.t.Rows {
-		d := 0
-		for c := range tr {
-			if tr[c] != row[c] {
-				d++
+	for i := range cands {
+		cands[i].idx = i
+	}
+	// Column-major over interned codes: an unseen query value encodes to
+	// -1, which differs from every stored code — exactly like a failed
+	// string comparison.
+	for c := 0; c < m.t.NumCols(); c++ {
+		q := m.t.Dict(c).Code(row[c])
+		for i, code := range m.t.ColumnCodes(c) {
+			if code != q {
+				cands[i].dist++
 			}
 		}
-		cands[i] = cand{i, d}
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
 	k := m.k

@@ -30,10 +30,10 @@ func TestExactMatchWins(t *testing.T) {
 	// Hand-built table: the query has one exact twin and many far rows.
 	tb := &dataset.Table{Spec: learntest.Spec(), ColNames: []string{"a", "b", "c"}}
 	add := func(a, b, c, label string) {
-		tb.Rows = append(tb.Rows, []string{a, b, c})
+		tb.AppendRow([]string{a, b, c})
 		tb.Labels = append(tb.Labels, label)
 		tb.Values = append(tb.Values, 0)
-		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(len(tb.Rows)), To: -1})
+		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(tb.Len()), To: -1})
 	}
 	add("x", "y", "z", "близко") // exact twin of the query
 	for i := 0; i < 10; i++ {
@@ -56,10 +56,10 @@ func TestIrrelevantAttributesMislead(t *testing.T) {
 	tb := &dataset.Table{Spec: learntest.Spec(),
 		ColNames: []string{"morph", "n1", "n2", "n3", "n4"}}
 	add := func(row []string, label string) {
-		tb.Rows = append(tb.Rows, row)
+		tb.AppendRow(row)
 		tb.Labels = append(tb.Labels, label)
 		tb.Values = append(tb.Values, 0)
-		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(len(tb.Rows)), To: -1})
+		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(tb.Len()), To: -1})
 	}
 	// One carrier shares the query's decisive morph=alpine but differs in
 	// all noise columns.
@@ -86,7 +86,7 @@ func TestKDefaultsTo5(t *testing.T) {
 func TestKLargerThanTable(t *testing.T) {
 	tb := learntest.RuleTable(3, 0, 4)
 	m, _ := (&Learner{Opts: Options{K: 10}}).Fit(tb)
-	p := m.Predict(tb.Rows[0])
+	p := m.Predict(tb.Row(0))
 	if p.Label == "" {
 		t.Error("k > n produced empty prediction")
 	}

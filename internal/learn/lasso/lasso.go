@@ -67,11 +67,11 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 		return nil, learn.ErrEmptyTable
 	}
 	opts := l.Opts.withDefaults()
-	enc := onehot.Fit(t.ColNames, t.Rows)
+	enc := onehot.FitTable(t)
 	n, d := t.Len(), enc.Width()
 
 	// Dense design matrix (one-hot) and centered/scaled target.
-	x := enc.TransformAll(t.Rows)
+	x := enc.TransformTable(t)
 	yMean, yStd := meanStd(t.Values)
 	if yStd == 0 {
 		yStd = 1

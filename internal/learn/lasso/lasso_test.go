@@ -36,7 +36,7 @@ func TestLearnsAdditiveRule(t *testing.T) {
 		m := rng.Pick(r, morphs)
 		f := rng.Pick(r, freqs)
 		v := value(m, f)
-		tb.Rows = append(tb.Rows, []string{m, f, fmt.Sprint(r.Intn(40))})
+		tb.AppendRow([]string{m, f, fmt.Sprint(r.Intn(40))})
 		tb.Labels = append(tb.Labels, fmt.Sprintf("%g", v))
 		tb.Values = append(tb.Values, v)
 		tb.Sites = append(tb.Sites, dataset.Site{From: lte.CarrierID(i), To: -1})
@@ -102,7 +102,7 @@ func TestPredictionsOnGrid(t *testing.T) {
 		seen[l] = true
 	}
 	for i := 0; i < 50; i++ {
-		p := m.Predict(tb.Rows[i])
+		p := m.Predict(tb.Row(i))
 		if !seen[p.Label] {
 			t.Fatalf("prediction %q is not an observed value", p.Label)
 		}
@@ -132,7 +132,7 @@ func TestConstantTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := m.Predict(tb.Rows[0]); p.Label != "7" {
+	if p := m.Predict(tb.Row(0)); p.Label != "7" {
 		t.Errorf("constant prediction = %q", p.Label)
 	}
 }

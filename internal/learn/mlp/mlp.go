@@ -91,7 +91,7 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	}
 	opts := l.Opts.withDefaults()
 
-	enc := onehot.Fit(t.ColNames, t.Rows)
+	enc := onehot.FitTable(t)
 	classIdx := make(map[string]int)
 	var classes []string
 	y := make([]int, t.Len())
@@ -158,7 +158,7 @@ func (m *Model) train(t *dataset.Table, y []int) {
 
 	// Pre-encode all rows once.
 	width := m.enc.Width()
-	encoded := m.enc.TransformAll(t.Rows)
+	encoded := m.enc.TransformTable(t)
 
 	// Adam state mirrors weights and biases.
 	mw := make([]*matrix.Dense, len(m.weights))

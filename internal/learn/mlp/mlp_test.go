@@ -61,7 +61,7 @@ func TestConstantTableShortCircuits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := m.Predict(tb.Rows[0])
+	p := m.Predict(tb.Row(0))
 	if p.Label != "7" || p.Confidence != 1 {
 		t.Errorf("constant prediction = %+v", p)
 	}
@@ -75,7 +75,7 @@ func TestDeterministicForSeed(t *testing.T) {
 	m1, _ := fastLearner().Fit(tb)
 	m2, _ := fastLearner().Fit(tb)
 	for i := 0; i < 30; i++ {
-		if m1.Predict(tb.Rows[i]).Label != m2.Predict(tb.Rows[i]).Label {
+		if m1.Predict(tb.Row(i)).Label != m2.Predict(tb.Row(i)).Label {
 			t.Fatal("same-seed networks disagree")
 		}
 	}

@@ -172,13 +172,27 @@ func newBuilder(t *dataset.Table, opts Options) *builder {
 	labelIdx := make(map[string]int32)
 	b.rows = make([][]int32, t.Len())
 	b.y = make([]int32, t.Len())
-	for i, row := range t.Rows {
-		enc := make([]int32, len(row))
-		for c, v := range row {
-			id, ok := b.colVocab[c][v]
-			if !ok {
+	// Remap the table's dictionary codes to table-first-seen local ids:
+	// category numbering (and with it split tie-breaking and explanations)
+	// depends only on this table's row order, not on the shared base the
+	// dictionary was interned into.
+	remap := make([][]int32, t.NumCols())
+	for c := range remap {
+		rm := make([]int32, t.Dict(c).Len())
+		for i := range rm {
+			rm[i] = -1
+		}
+		remap[c] = rm
+	}
+	for i := 0; i < t.Len(); i++ {
+		enc := make([]int32, t.NumCols())
+		for c := range enc {
+			code := t.Code(i, c)
+			id := remap[c][code]
+			if id < 0 {
 				id = int32(len(b.colVocab[c]))
-				b.colVocab[c][v] = id
+				remap[c][code] = id
+				b.colVocab[c][t.Dict(c).String(code)] = id
 			}
 			enc[c] = id
 		}

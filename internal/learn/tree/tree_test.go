@@ -26,7 +26,8 @@ func TestPureLeavesOnCleanData(t *testing.T) {
 	m, _ := New().Fit(tb)
 	// Every prediction on training rows must match with confidence 1
 	// (leaves grown to purity).
-	for i, row := range tb.Rows {
+	for i := 0; i < tb.Len(); i++ {
+		row := tb.Row(i)
 		p := m.Predict(row)
 		if p.Label != tb.Labels[i] {
 			t.Fatalf("training row %d mispredicted", i)
@@ -79,7 +80,7 @@ func TestDeterministic(t *testing.T) {
 	m1, _ := New().Fit(tb)
 	m2, _ := New().Fit(tb)
 	for i := 0; i < 50; i++ {
-		row := tb.Rows[i]
+		row := tb.Row(i)
 		if m1.Predict(row).Label != m2.Predict(row).Label {
 			t.Fatal("identical fits disagree")
 		}
@@ -121,7 +122,7 @@ func TestConstantLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := m.Predict(tb.Rows[0])
+	p := m.Predict(tb.Row(0))
 	if p.Label != "42" || p.Confidence != 1 {
 		t.Errorf("constant table prediction = %+v", p)
 	}

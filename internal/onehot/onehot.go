@@ -5,7 +5,11 @@
 // the carrier with value b has values 0, 1, 0".
 package onehot
 
-import "fmt"
+import (
+	"fmt"
+
+	"auric/internal/dataset"
+)
 
 type column struct {
 	name       string
@@ -50,6 +54,67 @@ func Fit(names []string, rows [][]string) *Encoder {
 	}
 	e.width = off
 	return e
+}
+
+// FitTable learns the category vocabulary from a dataset table's interned
+// columns without materializing string rows. The vocabulary and category
+// order are identical to Fit(t.ColNames, rows-of-t): first-seen in table
+// row order, per column.
+func FitTable(t *dataset.Table) *Encoder {
+	e := &Encoder{cols: make([]column, t.NumCols())}
+	for ci := range e.cols {
+		c := &e.cols[ci]
+		*c = column{name: t.ColNames[ci], index: make(map[string]int)}
+		d := t.Dict(ci)
+		seen := make([]int, d.Len())
+		for i := range seen {
+			seen[i] = -1
+		}
+		for _, code := range t.ColumnCodes(ci) {
+			if seen[code] < 0 {
+				v := d.String(code)
+				seen[code] = len(c.categories)
+				c.index[v] = seen[code]
+				c.categories = append(c.categories, v)
+			}
+		}
+	}
+	off := 0
+	for i := range e.cols {
+		e.cols[i].offset = off
+		off += len(e.cols[i].categories)
+	}
+	e.width = off
+	return e
+}
+
+// TransformTable encodes every row of a dataset table into a dense
+// row-major buffer of shape t.Len() x Width(), equivalent to TransformAll
+// over the table's string rows but driven column-major by the interned
+// codes through a per-column code -> output-column table.
+func (e *Encoder) TransformTable(t *dataset.Table) []float64 {
+	if t.NumCols() != len(e.cols) {
+		panic(fmt.Sprintf("onehot: table width %d, want %d", t.NumCols(), len(e.cols)))
+	}
+	out := make([]float64, t.Len()*e.width)
+	for ci := range e.cols {
+		c := &e.cols[ci]
+		d := t.Dict(ci)
+		lut := make([]int, d.Len())
+		for code := range lut {
+			if j, ok := c.index[d.String(int32(code))]; ok {
+				lut[code] = c.offset + j
+			} else {
+				lut[code] = -1 // category outside the fitted vocabulary
+			}
+		}
+		for i, code := range t.ColumnCodes(ci) {
+			if j := lut[code]; j >= 0 {
+				out[i*e.width+j] = 1
+			}
+		}
+	}
+	return out
 }
 
 // Width reports the number of output columns (the total category count).

@@ -122,10 +122,10 @@ func Infer(t *dataset.Table, vendor string, opts InferOptions) *Rulebook {
 
 	// Per-combo rules.
 	groups := map[string][]int{}
-	for i := range t.Rows {
+	for i := 0; i < t.Len(); i++ {
 		k := ""
 		for _, c := range keyCols {
-			k += t.Rows[i][c] + "\x1f"
+			k += t.At(i, c) + "\x1f"
 		}
 		groups[k] = append(groups[k], i)
 	}
@@ -141,7 +141,7 @@ func Infer(t *dataset.Table, vendor string, opts InferOptions) *Rulebook {
 		}
 		match := map[string]string{}
 		for _, c := range keyCols {
-			match[t.ColNames[c]] = t.Rows[idx[0]][c]
+			match[t.ColNames[c]] = t.At(idx[0], c)
 		}
 		rb.Rules = append(rb.Rules, Rule{
 			Param: t.Spec.Name,

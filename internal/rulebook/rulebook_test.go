@@ -51,7 +51,8 @@ func TestInferProducesWorkingRulebook(t *testing.T) {
 	// combo; measure its accuracy as a baseline. It must beat random but
 	// is expected to miss the local tuning Auric captures.
 	hit := 0
-	for i, row := range tb.Rows {
+	for i := 0; i < tb.Len(); i++ {
+		row := tb.Row(i)
 		attrs := map[string]string{}
 		for c, n := range tb.ColNames {
 			attrs[n] = row[c]

@@ -154,10 +154,31 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 		}
 	}
 	schema := paramspec.NewSchema(params)
+	// The JSON decoder allocates a fresh string per field per carrier;
+	// intern the attribute-bearing fields so the whole inventory shares
+	// one backing string per distinct value, the same sharing a
+	// generated world (and the dataset layer's column dictionaries
+	// downstream) start from.
+	intern := make(map[string]string)
+	share := func(s string) string {
+		if v, ok := intern[s]; ok {
+			return v
+		}
+		intern[s] = s
+		return s
+	}
+	for i := range in.Carriers {
+		c := &in.Carriers[i]
+		c.Info = share(c.Info)
+		c.MIMOMode = share(c.MIMOMode)
+		c.Hardware = share(c.Hardware)
+		c.Vendor = share(c.Vendor)
+		c.SoftwareVersion = share(c.SoftwareVersion)
+	}
 	net := &lte.Network{Markets: in.Markets, Carriers: in.Carriers}
 	for _, e := range in.ENodeBs {
 		net.ENodeBs = append(net.ENodeBs, lte.ENodeB{
-			ID: e.ID, Market: e.Market, Vendor: e.Vendor,
+			ID: e.ID, Market: e.Market, Vendor: share(e.Vendor),
 			Lat: e.Lat, Lon: e.Lon, Carriers: e.Carriers,
 		})
 	}

@@ -1,0 +1,106 @@
+package stats
+
+import "math"
+
+// CountTable is a dense two-way contingency table over pre-encoded
+// categorical codes: cell (r, c) counts co-occurrences of attribute code r
+// with label code c. It is the columnar counterpart of Contingency for the
+// CF hot path — counting is two slice indexings per sample instead of two
+// map lookups, and the statistics match Contingency exactly because rows
+// and columns with zero marginals are excluded from the effective
+// dimensions (a code never observed in the table contributes nothing, just
+// as an un-interned string never enters a Contingency).
+type CountTable struct {
+	r, c   int
+	counts []int // row-major [r][c]
+	total  int
+}
+
+// NewCountTable returns a zeroed r x c table. Dimensions are the code
+// cardinalities of the attribute and label dictionaries.
+func NewCountTable(r, c int) *CountTable {
+	return &CountTable{r: r, c: c, counts: make([]int, r*c)}
+}
+
+// Add counts one observation of (attribute code, label code).
+func (t *CountTable) Add(r, c int) {
+	t.counts[r*t.c+c]++
+	t.total++
+}
+
+// Count returns the cell count for (attribute code, label code).
+func (t *CountTable) Count(r, c int) int { return t.counts[r*t.c+c] }
+
+// Total returns the number of observations.
+func (t *CountTable) Total() int { return t.total }
+
+// marginals returns the row and column sums and the effective dimensions
+// (rows and columns with at least one observation).
+func (t *CountTable) marginals() (rowSums, colSums []float64, reff, ceff int) {
+	rowSums = make([]float64, t.r)
+	colSums = make([]float64, t.c)
+	for i := 0; i < t.r; i++ {
+		base := i * t.c
+		for j := 0; j < t.c; j++ {
+			n := float64(t.counts[base+j])
+			rowSums[i] += n
+			colSums[j] += n
+		}
+	}
+	for _, s := range rowSums {
+		if s > 0 {
+			reff++
+		}
+	}
+	for _, s := range colSums {
+		if s > 0 {
+			ceff++
+		}
+	}
+	return rowSums, colSums, reff, ceff
+}
+
+// ChiSquare computes the chi-square statistic of Eq. (3) with the expected
+// counts of Eq. (4), and the degrees of freedom (R-1)(C-1) over the
+// effective (observed) dimensions. Tables with fewer than 2 observed rows
+// or 2 observed columns carry no information about dependence and return
+// (0, 0) — identical to Contingency.ChiSquare over the same observations.
+func (t *CountTable) ChiSquare() (stat float64, df int) {
+	rowSums, colSums, reff, ceff := t.marginals()
+	if reff < 2 || ceff < 2 || t.total == 0 {
+		return 0, 0
+	}
+	n := float64(t.total)
+	for i := 0; i < t.r; i++ {
+		if rowSums[i] == 0 {
+			continue
+		}
+		base := i * t.c
+		for j := 0; j < t.c; j++ {
+			expected := rowSums[i] * colSums[j] / n
+			if expected == 0 {
+				continue
+			}
+			d := float64(t.counts[base+j]) - expected
+			stat += d * d / expected
+		}
+	}
+	return stat, (reff - 1) * (ceff - 1)
+}
+
+// CramersV normalizes a chi-square statistic of the table into Cramér's V:
+// sqrt(chi2 / (n * (min(R, C) - 1))) over the effective dimensions, an
+// association strength in [0, 1] comparable across attribute
+// cardinalities. Degenerate tables return 0 — identical to
+// Contingency.CramersV over the same observations.
+func (t *CountTable) CramersV(stat float64) float64 {
+	_, _, reff, ceff := t.marginals()
+	k := reff
+	if ceff < k {
+		k = ceff
+	}
+	if t.total == 0 || k < 2 {
+		return 0
+	}
+	return math.Sqrt(stat / (float64(t.total) * float64(k-1)))
+}
