@@ -8,7 +8,7 @@ GO ?= go
 
 .PHONY: check build vet fmt-check doc-audit test race bench bench-smoke bench-json serve-smoke
 
-check: build vet fmt-check doc-audit test race bench-smoke
+check: build vet fmt-check doc-audit test race bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -49,15 +49,16 @@ bench:
 # scale) so `make check` catches benchmarks that rot when APIs move,
 # without paying for a measurement-grade run.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x -short . ./internal/learn/cf/ ./internal/core/
+	$(GO) test -run=NONE -bench=. -benchtime=1x -short . ./internal/learn/cf/ ./internal/core/ ./internal/trace/
 
-# bench-json runs the hot-path benchmark suite (dataset, CF, engine) and
-# writes the machine-readable results to BENCH_cf.json (see
-# scripts/bench_json.sh for knobs).
+# bench-json runs the hot-path benchmark suites and writes the
+# machine-readable results to BENCH_cf.json (dataset + CF) and
+# BENCH_core.json (engine) — see scripts/bench_json.sh for knobs.
 bench-json:
 	./scripts/bench_json.sh
 
-# serve-smoke boots auricd on a random port, exercises /healthz and
-# /metrics over real TCP, and verifies SIGTERM shuts it down cleanly.
+# serve-smoke boots auricd on a random port, exercises /healthz,
+# /metrics, /v1/recommend, /debug/traces and the audit log over real
+# TCP, and verifies SIGTERM shuts it down cleanly.
 serve-smoke:
 	./scripts/serve_smoke.sh

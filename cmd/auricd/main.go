@@ -9,7 +9,13 @@
 //	GET  /v1/carriers/{id}        -> carrier attributes JSON
 //	POST /v1/recommend            -> recommendations for a carrier
 //	GET  /metrics                 -> Prometheus text exposition
+//	GET  /debug/traces            -> recent + slow request traces JSON
 //	     /debug/pprof/...        -> net/http/pprof (with -pprof)
+//
+// Every request is traced (internal/trace): the response carries a W3C
+// traceparent header, sampled requests record a span tree served at
+// /debug/traces, and with -audit-log each recommendation value served is
+// appended to a JSONL audit log joined to its trace by trace id.
 //
 // The recommend body identifies either an existing carrier by id, or a new
 // carrier by eNodeB + frequency:
@@ -39,9 +45,11 @@ import (
 	"time"
 
 	"auric"
+	"auric/internal/audit"
 	"auric/internal/obs"
 	"auric/internal/rng"
 	"auric/internal/snapshot"
+	"auric/internal/trace"
 )
 
 type server struct {
@@ -57,11 +65,15 @@ type server struct {
 	// recommendations counts recommendation values served, by voting
 	// support (auric_recommendations_total{supported}).
 	recommendations *obs.CounterVec
+	// audit, when non-nil, receives one record per recommendation value
+	// served by POST /v1/recommend.
+	audit *audit.Log
 }
 
 // handlerOptions configure the HTTP surface built by newHandler.
 type handlerOptions struct {
 	registry  *obs.Registry // metrics registry served at /metrics
+	tracer    *trace.Tracer // nil means an always-sample default tracer
 	pprof     bool          // mount net/http/pprof under /debug/pprof/
 	accessLog *log.Logger   // nil disables access logging
 }
@@ -76,10 +88,26 @@ func main() {
 		workers   = flag.Int("workers", 0, "train/recommend worker pool size (0 = all CPUs)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", true, "log one structured line per request")
+
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests recording a full span tree at /debug/traces (0..1)")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "requests at least this slow are always captured in the slow-trace ring (0 disables)")
+		traceBuffer = flag.Int("trace-buffer", 256, "recent traces retained in memory")
+
+		auditPath     = flag.String("audit-log", "", "append one JSONL record per recommendation value served (empty disables)")
+		auditMaxBytes = flag.Int64("audit-max-bytes", 64<<20, "rotate the audit log before it exceeds this size")
 	)
 	flag.Parse()
 
 	s := &server{newRNG: rng.New(*seed ^ 0xd)}
+	if *auditPath != "" {
+		al, err := audit.Open(*auditPath, audit.Options{MaxBytes: *auditMaxBytes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer al.Close()
+		s.audit = al
+		log.Printf("auditing recommendations to %s (rotate at %d bytes)", *auditPath, *auditMaxBytes)
+	}
 	if *load != "" {
 		log.Printf("loading snapshot %s", *load)
 		net, cfg, err := snapshot.Load(*load)
@@ -105,7 +133,16 @@ func main() {
 		s.schema, s.net, s.x2 = w.Schema, w.Net, w.X2
 	}
 
-	opts := handlerOptions{registry: obs.Default(), pprof: *pprofOn}
+	obs.RegisterRuntimeMetrics(obs.Default())
+	opts := handlerOptions{
+		registry: obs.Default(),
+		pprof:    *pprofOn,
+		tracer: trace.New(trace.Options{
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			Capacity:      *traceBuffer,
+		}),
+	}
 	if *accessLog {
 		opts.accessLog = log.Default()
 	}
@@ -169,12 +206,18 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 		reg = obs.Default()
 	}
 	m := obs.NewHTTPMetrics(reg)
+	tr := opts.tracer
+	if tr == nil {
+		tr = trace.New(trace.Options{SampleRate: 1})
+	}
 	s.recommendations = reg.CounterVec("auric_recommendations_total",
 		"Recommendation values served by POST /v1/recommend, by voting support.", "supported")
 
 	mux := http.NewServeMux()
 	route := func(method, pattern string, h http.HandlerFunc) {
-		mux.Handle(method+" "+pattern, m.Handler(pattern, h))
+		// Trace inside the metrics wrapper: the root span covers the
+		// handler, the histogram covers span bookkeeping too.
+		mux.Handle(method+" "+pattern, m.Handler(pattern, tr.Middleware(pattern, h)))
 		// Fallback for every other method on a known path: JSON 405.
 		// The method-qualified pattern above is more specific, so it
 		// wins whenever the method matches.
@@ -189,6 +232,10 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 	route("POST", "/v1/recommend", s.handleRecommend)
 	mux.Handle("GET /metrics", m.Handler("/metrics", reg.Handler()))
 	mux.Handle("/metrics", m.Handler("/metrics", methodNotAllowed("GET")))
+	// The trace inspection endpoint is not itself traced: reading the
+	// rings should not push traces into them.
+	mux.Handle("GET /debug/traces", m.Handler("/debug/traces", tr.TracesHandler()))
+	mux.Handle("/debug/traces", m.Handler("/debug/traces", methodNotAllowed("GET")))
 	// Unknown paths: JSON 404 under a shared route label so scraping
 	// abuse cannot explode the label space.
 	mux.Handle("/", m.HandlerFunc("other", func(rw http.ResponseWriter, _ *http.Request) {
@@ -262,6 +309,10 @@ type recommendation struct {
 	Confidence  float64 `json:"confidence"`
 	Supported   bool    `json:"supported"`
 	Explanation string  `json:"explanation"`
+	// Evidence diagnostics (see internal/learn.Diag): the relaxation
+	// level the vote settled at and the size of the voting pool.
+	RelaxationLevel int `json:"relaxationLevel"`
+	Candidates      int `json:"candidates"`
 }
 
 func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
@@ -305,27 +356,59 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	recs, err := s.engine.Recommend(carrier, neighbors)
+	recs, err := s.engine.RecommendContext(r.Context(), carrier, neighbors)
 	if err != nil {
 		writeError(rw, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// The root span's trace id joins the response, the span tree at
+	// /debug/traces and the audit records (present at any sample rate).
+	var traceID string
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		traceID = sp.TraceID().String()
+	}
+	now := time.Now()
 	out := make([]recommendation, 0, len(recs))
 	for _, rec := range recs {
 		out = append(out, recommendation{
-			Param:       rec.Param,
-			Neighbor:    int(rec.Neighbor),
-			Value:       rec.Value,
-			Confidence:  rec.Confidence,
-			Supported:   rec.Supported,
-			Explanation: rec.Explanation,
+			Param:           rec.Param,
+			Neighbor:        int(rec.Neighbor),
+			Value:           rec.Value,
+			Confidence:      rec.Confidence,
+			Supported:       rec.Supported,
+			Explanation:     rec.Explanation,
+			RelaxationLevel: rec.RelaxationLevel,
+			Candidates:      rec.Candidates,
 		})
 		if s.recommendations != nil {
 			s.recommendations.With(strconv.FormatBool(rec.Supported)).Inc()
 		}
+		if s.audit != nil {
+			if err := s.audit.Append(audit.Record{
+				Time:            now,
+				TraceID:         traceID,
+				Carrier:         int(carrier.ID),
+				Param:           rec.Param,
+				Neighbor:        int(rec.Neighbor),
+				Value:           rec.Value,
+				Label:           rec.Label,
+				Confidence:      rec.Confidence,
+				Supported:       rec.Supported,
+				RelaxationLevel: rec.RelaxationLevel,
+				Candidates:      rec.Candidates,
+				VoteShare:       rec.VoteShare,
+				ExactIndexHit:   rec.ExactIndexHit,
+				Dependents:      rec.Dependents,
+				Dropped:         rec.Dropped,
+				Explanation:     rec.Explanation,
+			}); err != nil {
+				log.Printf("auricd: audit append: %v", err)
+			}
+		}
 	}
 	writeJSON(rw, map[string]any{
 		"carrier":         carrier.ID,
+		"traceId":         traceID,
 		"recommendations": out,
 	})
 }

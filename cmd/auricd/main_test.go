@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"syscall"
@@ -13,9 +14,11 @@ import (
 	"time"
 
 	"auric"
+	"auric/internal/audit"
 	"auric/internal/obs"
 	"auric/internal/rng"
 	"auric/internal/snapshot"
+	"auric/internal/trace"
 )
 
 func testServer(t *testing.T) *server {
@@ -322,5 +325,153 @@ func TestSnapshotServedServer(t *testing.T) {
 	s.handleRecommend(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRecommendTracedEndToEnd is the acceptance path of the tracing
+// layer: one POST /v1/recommend must yield (a) a traceparent response
+// header, (b) a span tree at /debug/traces whose recommend.param spans
+// carry relaxation levels and candidate counts, and (c) an audit JSONL
+// record sharing the same trace id.
+func TestRecommendTracedEndToEnd(t *testing.T) {
+	s := testServer(t)
+	auditPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	al, err := audit.Open(auditPath, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.audit = al
+	h := newHandler(s, handlerOptions{
+		registry: obs.New(),
+		tracer:   trace.New(trace.Options{SampleRate: 1}),
+	})
+
+	rec := do(h, "POST", "/v1/recommend", `{"carrier": 5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	tp := rec.Header().Get("traceparent")
+	traceID, _, sampled, ok := trace.ParseTraceParent(tp)
+	if !ok || !sampled {
+		t.Fatalf("response traceparent %q invalid or unsampled", tp)
+	}
+	var resp struct {
+		TraceID         string           `json:"traceId"`
+		Recommendations []recommendation `json:"recommendations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != traceID.String() {
+		t.Errorf("body traceId %q != header trace id %q", resp.TraceID, traceID)
+	}
+	for _, r := range resp.Recommendations {
+		if r.Candidates <= 0 {
+			t.Errorf("%s: response lacks candidate count", r.Param)
+		}
+	}
+
+	// (b) The span tree is served at /debug/traces.
+	dbg := do(h, "GET", "/debug/traces", "")
+	if dbg.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", dbg.Code)
+	}
+	var traces struct {
+		Traces []struct {
+			TraceID string `json:"traceId"`
+			Spans   []struct {
+				Name  string         `json:"name"`
+				Attrs map[string]any `json:"attrs"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(dbg.Body.Bytes(), &traces); err != nil {
+		t.Fatal(err)
+	}
+	var tree *struct {
+		TraceID string `json:"traceId"`
+		Spans   []struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"spans"`
+	}
+	for i := range traces.Traces {
+		if traces.Traces[i].TraceID == traceID.String() {
+			tree = &traces.Traces[i]
+		}
+	}
+	if tree == nil {
+		t.Fatalf("trace %s not at /debug/traces", traceID)
+	}
+	var paramSpans, annotated int
+	for _, sp := range tree.Spans {
+		if sp.Name != "recommend.param" {
+			continue
+		}
+		paramSpans++
+		_, hasLevel := sp.Attrs["relaxation_level"]
+		_, hasCands := sp.Attrs["candidates"]
+		if hasLevel && hasCands {
+			annotated++
+		}
+	}
+	if paramSpans != len(resp.Recommendations) {
+		t.Errorf("recommend.param spans = %d, want %d", paramSpans, len(resp.Recommendations))
+	}
+	if annotated != paramSpans {
+		t.Errorf("only %d of %d param spans carry evidence annotations", annotated, paramSpans)
+	}
+
+	// (c) The audit log holds one record per value, same trace id.
+	if err := al.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(resp.Recommendations) {
+		t.Fatalf("audit log has %d records, want %d", len(lines), len(resp.Recommendations))
+	}
+	for _, line := range lines {
+		var r audit.Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("invalid audit JSONL %q: %v", line, err)
+		}
+		if r.TraceID != traceID.String() {
+			t.Errorf("audit record trace id %q != request trace id %q", r.TraceID, traceID)
+		}
+		if r.Param == "" || r.Candidates <= 0 || len(r.Dependents) == 0 {
+			t.Errorf("audit record missing evidence: %+v", r)
+		}
+	}
+}
+
+// TestRuntimeMetricsServed asserts the Go runtime health metrics land in
+// the same scrape as the serving metrics (the wiring main() performs).
+func TestRuntimeMetricsServed(t *testing.T) {
+	reg := obs.New()
+	obs.RegisterRuntimeMetrics(reg)
+	h := newHandler(testServer(t), handlerOptions{registry: reg})
+	body := do(h, "GET", "/metrics", "").Body.String()
+	for _, name := range []string{
+		"auric_go_goroutines",
+		"auric_go_heap_bytes",
+		"auric_go_gc_pause_seconds_count",
+		"auric_build_info{",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}
+
+// TestDebugTracesMethodNotAllowed pins the 405 discipline on the new
+// endpoint.
+func TestDebugTracesMethodNotAllowed(t *testing.T) {
+	h, _ := testHandler(t)
+	if rec := do(h, "POST", "/debug/traces", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /debug/traces status = %d, want 405", rec.Code)
 	}
 }

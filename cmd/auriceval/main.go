@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,12 +16,14 @@ import (
 	"strconv"
 	"strings"
 
+	"auric/internal/core"
 	"auric/internal/eval"
 	"auric/internal/launch"
 	"auric/internal/netsim"
 	"auric/internal/obs"
 	"auric/internal/report"
 	"auric/internal/stats"
+	"auric/internal/trace"
 )
 
 type env struct {
@@ -67,10 +70,12 @@ func main() {
 		"table3": runTable3, "table4": runTable4, "fig10": runFig10,
 		"localglobal": runLocalGlobal, "fig11": runFig11, "fig12": runFig12,
 		"table5": runTable5, "deps": runDeps, "scale": runScale,
+		"trace": runTrace,
 	}
 	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig10", "localglobal", "fig11", "fig12", "table5", "deps"}
-	// "scale" regenerates worlds of increasing size and is not part of
-	// "all"; run it explicitly with -exp scale.
+	// "scale" regenerates worlds of increasing size and "trace" prints one
+	// recommendation's span tree; neither is part of "all" — run them
+	// explicitly with -exp scale / -exp trace.
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -321,6 +326,33 @@ func runScale(e *env) error {
 		fmt.Printf("  %3d eNodeBs/market (%5d carriers): %s -> %s\n",
 			enbs, len(w.Net.Carriers), report.Percent(g.Accuracy()), report.Percent(l.Accuracy()))
 	}
+	return nil
+}
+
+// runTrace trains the local engine on the generated world, runs one
+// traced recommendation and prints its span tree — the CLI view of what
+// auricd serves at /debug/traces, including the per-parameter relaxation
+// levels and candidate counts.
+func runTrace(e *env) error {
+	engine := core.New(e.w.Schema, core.Options{Local: true, Workers: e.cv.Workers})
+	if err := engine.Train(e.w.Net, e.w.X2, e.w.Current); err != nil {
+		return err
+	}
+	c := &e.w.Net.Carriers[len(e.w.Net.Carriers)/2]
+	neighbors := e.w.X2.CarrierNeighbors(c.ID)
+	tr := trace.New(trace.Options{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "auriceval.recommend")
+	if _, err := engine.RecommendContext(ctx, c, neighbors); err != nil {
+		root.Finish()
+		return err
+	}
+	root.Finish()
+	traces := tr.Traces()
+	if len(traces) == 0 {
+		return fmt.Errorf("trace: no trace recorded")
+	}
+	fmt.Printf("traced recommendation for carrier %d (%d neighbors):\n\n", c.ID, len(neighbors))
+	fmt.Print(trace.FormatTree(traces[0]))
 	return nil
 }
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"auric/internal/obs"
 	"auric/internal/paramspec"
 	"auric/internal/pool"
+	"auric/internal/trace"
 )
 
 // Stage timers for the hot pipeline paths, exported at /metrics by
@@ -153,6 +155,34 @@ type Recommendation struct {
 	Supported  bool
 	// Explanation is the human-readable account shown to engineers.
 	Explanation string
+	// The remaining fields are the machine-readable evidence diagnostics
+	// carried from learn.Diag for the tracing and audit layers; they are
+	// zero for learners without relaxation semantics.
+
+	// RelaxationLevel is the ladder level the vote settled at (0 = full
+	// dependent set; -1 = no evidence fallback).
+	RelaxationLevel int
+	// Candidates is the number of matching carriers that voted.
+	Candidates int
+	// VoteShare is the winning label's share of the vote.
+	VoteShare float64
+	// ExactIndexHit reports that the pool came from the exact full-key
+	// index rather than posting-list intersection.
+	ExactIndexHit bool
+	// PostingLists is the number of posting lists intersected.
+	PostingLists int
+	// Dropped names the dependent attributes relaxed away (comma-joined,
+	// weakest first).
+	Dropped string
+	// Dependents are the "attribute=value" pairs the model matched on,
+	// strongest association first (nil for non-CF learners).
+	Dependents []string
+}
+
+// dependentValuer is implemented by models that can report the
+// "name=value" evidence key of a query row (cf.Model does).
+type dependentValuer interface {
+	DependentValues(row []string) []string
 }
 
 // Recommend produces recommendations for every parameter of a new carrier.
@@ -161,10 +191,31 @@ type Recommendation struct {
 // traffic — Sec 5). neighbors lists the carrier's X2 neighbor carriers for
 // pair-wise parameters; pass nil to skip those.
 func (e *Engine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recommendation, error) {
+	return e.RecommendContext(context.Background(), c, neighbors)
+}
+
+// RecommendContext is Recommend with request plumbing: the per-parameter
+// fan-out stops dispatching when ctx is cancelled (a disconnected HTTP
+// client abandons the answer), and when ctx carries a sampled trace (see
+// internal/trace) the call records an "engine.recommend" span with one
+// annotated "recommend.param" child per (parameter, neighbor) job. With
+// a background context it behaves exactly like Recommend.
+func (e *Engine) RecommendContext(ctx context.Context, c *lte.Carrier, neighbors []lte.CarrierID) ([]Recommendation, error) {
 	if e.net == nil {
 		return nil, fmt.Errorf("core: engine not trained")
 	}
-	defer obs.Since(recommendSeconds, time.Now())
+	start := time.Now()
+	ctx, sp := trace.Start(ctx, "engine.recommend")
+	defer func() {
+		sp.Finish()
+		// The exemplar joins the aggregate latency histogram to this
+		// concrete trace; unsampled requests pass an empty ID (no-op).
+		var exemplar string
+		if sp.Sampled() {
+			exemplar = sp.TraceID().String()
+		}
+		recommendSeconds.ObserveExemplar(time.Since(start).Seconds(), exemplar)
+	}()
 	var scope func(dataset.Site) bool
 	if e.opts.Local {
 		scope = e.scopeFor(c)
@@ -189,13 +240,34 @@ func (e *Engine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recomme
 			jobs = append(jobs, job{pi, pairAttrs, nb})
 		}
 	}
+	sp.SetInt("carrier", int64(c.ID))
+	sp.SetInt("neighbors", int64(len(neighbors)))
+	sp.SetInt("jobs", int64(len(jobs)))
+	sp.SetBool("scoped", scope != nil)
 	out := make([]Recommendation, len(jobs))
-	err := pool.ForEachNTimed(e.opts.Workers, len(jobs), recommendParamSeconds, func(i int) error {
+	err := pool.ForEachNCtx(ctx, e.opts.Workers, len(jobs), recommendParamSeconds, func(jctx context.Context, i int) error {
 		j := jobs[i]
+		_, psp := trace.Start(jctx, "recommend.param")
+		psp.SetStr("param", e.schema.At(j.pi).Name)
+		psp.SetInt("neighbor", int64(j.neighbor))
 		rec, err := e.recommendOne(j.pi, j.attrs, j.neighbor, scope)
 		if err != nil {
+			psp.SetStr("error", err.Error())
+			psp.Finish()
 			return err
 		}
+		psp.SetInt("relaxation_level", int64(rec.RelaxationLevel))
+		psp.SetInt("candidates", int64(rec.Candidates))
+		psp.SetFloat("vote_share", rec.VoteShare)
+		psp.SetBool("exact_index_hit", rec.ExactIndexHit)
+		if rec.PostingLists > 0 {
+			psp.SetInt("posting_lists", int64(rec.PostingLists))
+		}
+		if rec.Dropped != "" {
+			psp.SetStr("dropped", rec.Dropped)
+		}
+		psp.SetBool("supported", rec.Supported)
+		psp.Finish()
 		out[i] = rec
 		return nil
 	})
@@ -234,7 +306,7 @@ func (e *Engine) recommendOne(pi int, attrs []string, neighbor lte.CarrierID, sc
 		return Recommendation{}, err
 	}
 	supported := p.Confidence >= 0.75
-	return Recommendation{
+	rec := Recommendation{
 		Param:       spec.Name,
 		ParamIndex:  pi,
 		Neighbor:    neighbor,
@@ -243,7 +315,18 @@ func (e *Engine) recommendOne(pi int, attrs []string, neighbor lte.CarrierID, sc
 		Confidence:  p.Confidence,
 		Supported:   supported,
 		Explanation: p.Explanation,
-	}, nil
+
+		RelaxationLevel: p.Diag.Level,
+		Candidates:      p.Diag.Candidates,
+		VoteShare:       p.Diag.VoteShare,
+		ExactIndexHit:   p.Diag.ExactIndex,
+		PostingLists:    p.Diag.PostingLists,
+		Dropped:         p.Diag.Dropped,
+	}
+	if dv, ok := m.(dependentValuer); ok {
+		rec.Dependents = dv.DependentValues(attrs)
+	}
+	return rec, nil
 }
 
 // scopeFor builds the allowed-site predicate for a new carrier: training

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
 	"auric/internal/learn/knn"
 	"auric/internal/lte"
 	"auric/internal/netsim"
+	"auric/internal/trace"
 )
 
 func trainedEngine(t *testing.T, opts Options) (*Engine, *netsim.World) {
@@ -158,5 +161,116 @@ func TestNewCarrierNotInGraph(t *testing.T) {
 	}
 	if acc := float64(hits) / float64(len(recs)); acc < 0.8 {
 		t.Errorf("new-carrier accuracy vs template = %v", acc)
+	}
+}
+
+// TestRecommendContextTraced drives the traced recommend path end to end:
+// a sampled root span must gain an engine.recommend child with one
+// annotated recommend.param span per job, and the recommendations must
+// carry the CF evidence diagnostics the audit log persists.
+func TestRecommendContextTraced(t *testing.T) {
+	e, w := trainedEngine(t, Options{})
+	c := &w.Net.Carriers[5]
+	nbs := w.X2.CarrierNeighbors(c.ID)
+
+	tr := trace.New(trace.Options{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "test")
+	recs, err := e.RecommendContext(ctx, c, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	for _, r := range recs {
+		if r.Candidates <= 0 {
+			t.Errorf("%s: no candidate count in diagnostics", r.Param)
+		}
+		if r.VoteShare <= 0 || r.VoteShare > 1 {
+			t.Errorf("%s: vote share %v out of range", r.Param, r.VoteShare)
+		}
+		if r.RelaxationLevel > 0 && r.Dropped == "" {
+			t.Errorf("%s: relaxed to level %d without naming dropped attributes", r.Param, r.RelaxationLevel)
+		}
+		if len(r.Dependents) == 0 {
+			t.Errorf("%s: CF recommendation lacks dependent attribute values", r.Param)
+		}
+	}
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	var engineSpans, paramSpans int
+	var sawLevel, sawCandidates bool
+	for _, s := range traces[0].Spans {
+		switch s.Name {
+		case "engine.recommend":
+			engineSpans++
+		case "recommend.param":
+			paramSpans++
+			for _, a := range s.Attrs {
+				if a.Key == "relaxation_level" {
+					sawLevel = true
+				}
+				if a.Key == "candidates" {
+					sawCandidates = true
+				}
+			}
+		}
+	}
+	if engineSpans != 1 {
+		t.Errorf("engine.recommend spans = %d, want 1", engineSpans)
+	}
+	if paramSpans != len(recs) {
+		t.Errorf("recommend.param spans = %d, want one per recommendation (%d)", paramSpans, len(recs))
+	}
+	if !sawLevel || !sawCandidates {
+		t.Errorf("param spans lack evidence annotations (level=%v candidates=%v)", sawLevel, sawCandidates)
+	}
+
+	// The aggregate latency histogram now carries this trace as exemplar.
+	ex := recommendSeconds.Exemplar()
+	if ex == nil || ex.TraceID != traces[0].TraceID.String() {
+		t.Errorf("recommend histogram exemplar = %+v, want trace %s", ex, traces[0].TraceID)
+	}
+}
+
+// TestRecommendContextCancelled verifies an abandoned request returns an
+// error instead of a silently truncated recommendation set.
+func TestRecommendContextCancelled(t *testing.T) {
+	e, w := trainedEngine(t, Options{Workers: 2})
+	c := &w.Net.Carriers[3]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RecommendContext(ctx, c, w.X2.CarrierNeighbors(c.ID)); err == nil {
+		t.Fatal("cancelled recommend returned no error")
+	}
+}
+
+// TestRecommendUnsampledMatchesSampled pins that tracing is observation
+// only: the recommendations are identical with and without a sampled
+// trace in the context.
+func TestRecommendUnsampledMatchesSampled(t *testing.T) {
+	e, w := trainedEngine(t, Options{})
+	c := &w.Net.Carriers[7]
+	nbs := w.X2.CarrierNeighbors(c.ID)
+	plain, err := e.Recommend(c, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Options{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "test")
+	traced, err := e.RecommendContext(ctx, c, nbs)
+	root.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("recommendation counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].Value != traced[i].Value || plain[i].Explanation != traced[i].Explanation {
+			t.Errorf("recommendation %d differs under tracing: %+v vs %+v", i, plain[i], traced[i])
+		}
 	}
 }

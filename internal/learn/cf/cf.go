@@ -37,14 +37,46 @@ package cf
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"auric/internal/dataset"
 	"auric/internal/learn"
+	"auric/internal/obs"
 	"auric/internal/stats"
 )
 
 func init() { learn.Register("collaborative-filtering", func() learn.Learner { return New() }) }
+
+// Relaxation telemetry: the ladder level a vote settles at is the single
+// best signal of evidence quality in production (level 0 = copy/paste
+// similarity, higher levels = progressively vaguer pools), so every
+// prediction counts its level and whether it resolved through the exact
+// full-key index. The counters live on the default registry next to the
+// CF latency histograms, letting operators alert on evidence erosion
+// (e.g. rising level-2+ share after an attribute taxonomy change).
+var (
+	relaxationLevel = obs.Default().CounterVec(
+		"auric_cf_relaxation_level_total",
+		"CF predictions by the relaxation-ladder level the vote settled at (0 = full dependent set matched; fallback = no evidence at any level).",
+		"level")
+	exactIndexHits = obs.Default().Counter(
+		"auric_cf_exact_index_hits_total",
+		"CF predictions resolved through the exact full-dependent-set index (relaxation level 0).")
+
+	// Pre-resolved level counters for the hot path: ladders deeper than
+	// the array fall back to the (allocating) label lookup, which only
+	// happens for tables with 17+ dependent attributes.
+	relaxLevelFast [17]*obs.Counter
+	relaxFallback  *obs.Counter
+)
+
+func init() {
+	for i := range relaxLevelFast {
+		relaxLevelFast[i] = relaxationLevel.With(strconv.Itoa(i))
+	}
+	relaxFallback = relaxationLevel.With("fallback")
+}
 
 // Options are the collaborative-filtering hyperparameters.
 type Options struct {
@@ -320,6 +352,17 @@ func (m *Model) DependentColumnNames() []string {
 	return out
 }
 
+// DependentValues returns the query row's "name=value" pairs for the
+// dependent attributes, strongest association first — the evidence key the
+// audit log persists alongside each recommendation.
+func (m *Model) DependentValues(row []string) []string {
+	out := make([]string, len(m.deps))
+	for i, d := range m.deps {
+		out[i] = m.t.ColNames[d] + "=" + row[d]
+	}
+	return out
+}
+
 // encode translates a query row into dictionary codes for the dependent
 // columns (-1 for values never seen in training, which match no rows —
 // exactly like a failed string comparison).
@@ -364,19 +407,47 @@ func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, w
 	if allowed != nil {
 		localP, localLevel, localDecisive := m.ladder(row, codes, qdeps, allowed, weight)
 		if localDecisive && (!globalDecisive || localLevel <= globalLevel) {
-			return localP
+			return m.finish(localP, qdeps)
 		}
 	}
 	if globalP.Label != "" {
-		return globalP
+		return m.finish(globalP, qdeps)
 	}
 	// Empty training table population for every dependency subset (not
 	// reachable with a non-empty table, kept as a safe default).
-	return learn.Prediction{
+	return m.finish(learn.Prediction{
 		Label:       m.globalLabel,
 		Confidence:  m.globalShare * 0.25,
 		Explanation: "no matching carriers; falling back to the global majority value",
+		Diag:        learn.Diag{Level: -1},
+	}, qdeps)
+}
+
+// finish completes a prediction's diagnostics — naming the relaxed-away
+// dependent attributes (weakest first, the order the ladder dropped them)
+// and counting the settled relaxation level — before it leaves the model.
+func (m *Model) finish(p learn.Prediction, qdeps []int) learn.Prediction {
+	lvl := p.Diag.Level
+	if lvl > 0 && lvl <= len(qdeps) {
+		dropped := qdeps[len(qdeps)-lvl:]
+		names := make([]string, lvl)
+		for i := range dropped {
+			names[i] = m.t.ColNames[dropped[len(dropped)-1-i]]
+		}
+		p.Diag.Dropped = strings.Join(names, ",")
 	}
+	if p.Diag.ExactIndex {
+		exactIndexHits.Inc()
+	}
+	switch {
+	case lvl >= 0 && lvl < len(relaxLevelFast):
+		relaxLevelFast[lvl].Inc()
+	case lvl >= 0:
+		relaxationLevel.With(strconv.Itoa(lvl)).Inc()
+	default:
+		relaxFallback.Inc()
+	}
+	return p
 }
 
 // ladder walks the relaxation ladder: exact matching on the full
@@ -434,6 +505,16 @@ func (m *Model) vote(row []string, codes []int32, deps []int, full bool, allowed
 		Label:       label,
 		Confidence:  conf,
 		Explanation: m.explain(row, deps, label, share, len(matches), drop),
+		Diag: learn.Diag{
+			Level:      drop,
+			Candidates: len(matches),
+			VoteShare:  share,
+			ExactIndex: full,
+			Scoped:     allowed != nil,
+		},
+	}
+	if !full && len(deps) > 0 {
+		p.Diag.PostingLists = len(deps)
 	}
 	if allowed != nil && p.Explanation != "" {
 		p.Explanation = "within the X2 neighborhood: " + p.Explanation

@@ -199,3 +199,58 @@ func TestEmptyTable(t *testing.T) {
 		t.Errorf("empty table error = %v", err)
 	}
 }
+
+// TestPredictionDiag pins the machine-readable diagnostics the trace and
+// audit layers consume: exact-index hits report level 0 with no dropped
+// attributes, relaxed predictions name what was dropped, and the
+// relaxation counters advance.
+func TestPredictionDiag(t *testing.T) {
+	tb := learntest.RuleTable(500, 0, 7)
+	m, _ := New().Fit(tb)
+
+	level0Before := relaxLevelFast[0].Value()
+	hitsBefore := exactIndexHits.Value()
+	exact := m.Predict(tb.Row(0))
+	d := exact.Diag
+	if d.Level != 0 || !d.ExactIndex || d.Dropped != "" || d.PostingLists != 0 {
+		t.Errorf("exact-match diag = %+v, want level 0 exact-index with nothing dropped", d)
+	}
+	if d.Candidates <= 0 || d.VoteShare <= 0 {
+		t.Errorf("exact-match diag missing evidence counts: %+v", d)
+	}
+	if d.Scoped {
+		t.Errorf("unscoped prediction reported Scoped: %+v", d)
+	}
+	if relaxLevelFast[0].Value() != level0Before+1 {
+		t.Errorf("level-0 counter did not advance")
+	}
+	if exactIndexHits.Value() != hitsBefore+1 {
+		t.Errorf("exact-index counter did not advance")
+	}
+
+	// Unseen freq forces the ladder to relax; the dropped attribute must
+	// be named and the level counter for the settled level must advance.
+	relaxed := m.Predict([]string{"urban", "9999", "1", "2"})
+	d = relaxed.Diag
+	if d.Level <= 0 || d.ExactIndex {
+		t.Fatalf("relaxed diag = %+v, want level > 0 without exact index", d)
+	}
+	if d.Dropped == "" {
+		t.Errorf("relaxed diag names no dropped attributes: %+v", d)
+	}
+	for _, name := range strings.Split(d.Dropped, ",") {
+		if name != "morphology" && name != "freq" {
+			t.Errorf("dropped %q is not a dependent attribute", name)
+		}
+	}
+	if d.PostingLists != len(m.(*Model).deps)-d.Level {
+		t.Errorf("posting lists = %d, want %d at level %d",
+			d.PostingLists, len(m.(*Model).deps)-d.Level, d.Level)
+	}
+
+	// Scoped predictions mark the diag as scoped.
+	scoped := m.(*Model).PredictScoped(tb.Row(0), func(s dataset.Site) bool { return true })
+	if !scoped.Diag.Scoped {
+		t.Errorf("scoped prediction diag = %+v, want Scoped", scoped.Diag)
+	}
+}

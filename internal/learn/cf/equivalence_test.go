@@ -442,14 +442,21 @@ func TestPredictionsMatchReference(t *testing.T) {
 		ref := refFit(tb, Options{})
 		scope := func(s dataset.Site) bool { return s.From%2 == 0 }
 		weight := func(s dataset.Site) float64 { return float64(s.From%5) / 2 }
+		// The reference model predates the Diag diagnostics; equivalence
+		// is pinned on the user-visible triple (label, confidence,
+		// explanation), so strip Diag before the == comparison.
+		stripDiag := func(p learn.Prediction) learn.Prediction {
+			p.Diag = learn.Diag{}
+			return p
+		}
 		for _, row := range queries {
-			if got, want := m.Predict(row), ref.predict(row); got != want {
+			if got, want := stripDiag(m.Predict(row)), ref.predict(row); got != want {
 				t.Fatalf("Predict(%v)\n got %+v\nwant %+v", row, got, want)
 			}
-			if got, want := m.PredictScoped(row, scope), ref.predictWeighted(row, scope, nil); got != want {
+			if got, want := stripDiag(m.PredictScoped(row, scope)), ref.predictWeighted(row, scope, nil); got != want {
 				t.Fatalf("PredictScoped(%v)\n got %+v\nwant %+v", row, got, want)
 			}
-			if got, want := m.PredictWeighted(row, scope, weight), ref.predictWeighted(row, scope, weight); got != want {
+			if got, want := stripDiag(m.PredictWeighted(row, scope, weight)), ref.predictWeighted(row, scope, weight); got != want {
 				t.Fatalf("PredictWeighted(%v)\n got %+v\nwant %+v", row, got, want)
 			}
 		}

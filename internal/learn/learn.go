@@ -24,6 +24,37 @@ type Prediction struct {
 	// of the decision-tree explanations the paper's engineers valued
 	// (Sec 3.2, Fig 8).
 	Explanation string
+	// Diag carries machine-readable evidence diagnostics for the tracing
+	// and audit layers. Learners without relaxation semantics leave it
+	// zero; CF fills it on every prediction.
+	Diag Diag
+}
+
+// Diag describes the evidence behind one prediction in machine-readable
+// form — the per-recommendation fields the span tracer annotates and the
+// audit log persists. It deliberately holds no slices, so Prediction
+// values stay comparable with == (the equivalence tests rely on that).
+type Diag struct {
+	// Level is the relaxation-ladder level the vote settled at: 0 means
+	// the full dependent set matched, k means the k weakest dependent
+	// attributes were relaxed away. -1 marks the no-evidence fallback.
+	Level int
+	// Candidates is the number of matching carriers that voted.
+	Candidates int
+	// VoteShare is the winning label's share of the vote (before the
+	// single-witness discount applied to Confidence).
+	VoteShare float64
+	// ExactIndex reports that the candidate pool came from the exact
+	// full-dependent-set index (always true at Level 0, never above).
+	ExactIndex bool
+	// PostingLists is the number of per-column posting lists intersected
+	// to build the pool (0 for exact-index hits and the empty set).
+	PostingLists int
+	// Scoped reports that the vote was restricted to the X2 neighborhood.
+	Scoped bool
+	// Dropped names the dependent attributes relaxed away, weakest first,
+	// comma-joined ("" at Level 0).
+	Dropped string
 }
 
 // Model is a fitted per-parameter dependency model. Fitted models must be

@@ -21,6 +21,9 @@ type Series struct {
 	Count   uint64
 	Sum     float64
 	Buckets []uint64
+	// Exemplar, when non-nil, links the histogram to a recent traced
+	// request (see Histogram.ObserveExemplar).
+	Exemplar *Exemplar
 }
 
 // FamilySnapshot is a point-in-time snapshot of one metric family.
@@ -37,6 +40,7 @@ type FamilySnapshot struct {
 // series sorted by label values. It is the introspection API behind
 // WritePrometheus and the stage-timing summaries of cmd/auriceval.
 func (r *Registry) Gather() []FamilySnapshot {
+	r.runGatherHooks()
 	r.mu.RLock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
@@ -71,6 +75,7 @@ func (r *Registry) Gather() []FamilySnapshot {
 				for i := range m.buckets {
 					s.Buckets[i] = m.buckets[i].Load()
 				}
+				s.Exemplar = m.Exemplar()
 			}
 			fs.Series = append(fs.Series, s)
 		}
@@ -104,6 +109,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(f.LabelNames, s.Labels, "", ""), formatFloat(s.Sum))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(f.LabelNames, s.Labels, "", ""), s.Count)
+				if s.Exemplar != nil {
+					// Text format 0.0.4 has no exemplar syntax; emit it as
+					// a comment line (ignored by scrapers, visible to
+					// humans curl-ing /metrics) so a bad histogram always
+					// carries a trace ID to pull up at /debug/traces.
+					fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%s value=%s\n",
+						f.Name, labelString(f.LabelNames, s.Labels, "", ""),
+						s.Exemplar.TraceID, formatFloat(s.Exemplar.Value))
+				}
 			default:
 				fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(f.LabelNames, s.Labels, "", ""), formatFloat(s.Value))
 			}

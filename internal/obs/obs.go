@@ -53,6 +53,9 @@ var DefBuckets = []float64{
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // New creates an empty registry.
@@ -167,6 +170,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.familyFor(name, help, KindGauge, nil, nil).with(nil).(*Gauge)
 }
 
+// GaugeVec registers (or returns) a gauge family with the given label
+// names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.familyFor(name, help, KindGauge, labels, nil)}
+}
+
 // Histogram registers (or returns) an unlabeled histogram with the given
 // bucket upper bounds (ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -186,6 +195,13 @@ type CounterVec struct{ f *family }
 // label names given at registration), creating it on first use. Callers
 // on hot paths should resolve once and keep the *Counter.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).(*Counter) }
+
+// GaugeVec is a gauge family; With resolves one labeled series.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).(*Gauge) }
 
 // HistogramVec is a histogram family; With resolves one labeled series.
 type HistogramVec struct{ f *family }
@@ -234,10 +250,23 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts observations into fixed buckets and tracks their sum.
 type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds   []float64
+	buckets  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count    atomic.Uint64
+	sumBits  atomic.Uint64
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram to one concrete traced request that landed
+// in it — the join point between the aggregate view (/metrics) and the
+// per-request view (/debug/traces). Only the most recent exemplar is
+// kept; for latency histograms that is "a recent trace ID to pull up
+// when the histogram looks bad".
+type Exemplar struct {
+	// TraceID identifies the trace at /debug/traces.
+	TraceID string
+	// Value is the observation the exemplar rode in on.
+	Value float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -258,6 +287,20 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the histogram's exemplar with it. The exemplar write is one
+// atomic pointer store, so sampled requests pay a few extra nanoseconds
+// and unsampled ones (empty traceID) pay nothing beyond Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplar.Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplar returns the most recent exemplar, or nil if none was recorded.
+func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -274,3 +317,23 @@ type Observer interface{ Observe(seconds float64) }
 //
 //	defer obs.Since(trainSeconds, time.Now())
 func Since(h Observer, start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// OnGather registers a hook that runs at the start of every Gather (and
+// therefore every /metrics scrape), before families are snapshotted.
+// Hooks are how sampled gauges — runtime stats, queue depths — refresh
+// lazily at scrape time instead of on a polling goroutine. Hooks must be
+// safe for concurrent use: two scrapes may run them simultaneously.
+func (r *Registry) OnGather(fn func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+func (r *Registry) runGatherHooks() {
+	r.hookMu.Lock()
+	hooks := r.hooks
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+)
+
+// Runtime metric names, exported for tests and dashboards.
+const (
+	// MetricGoroutines is the current goroutine count.
+	MetricGoroutines = "auric_go_goroutines"
+	// MetricHeapBytes is the bytes of live heap objects.
+	MetricHeapBytes = "auric_go_heap_bytes"
+	// MetricGCPauseSeconds is the histogram of GC stop-the-world pauses.
+	MetricGCPauseSeconds = "auric_go_gc_pause_seconds"
+	// MetricBuildInfo is the constant-1 build identity gauge.
+	MetricBuildInfo = "auric_build_info"
+)
+
+var runtimeRegistered sync.Map // *Registry -> struct{}
+
+// RegisterRuntimeMetrics adds Go runtime health metrics to the registry:
+// goroutine count, live heap bytes, a GC pause histogram fed from
+// runtime/metrics, and the constant auric_build_info{version,go} gauge
+// identifying the running binary. The sampled values refresh lazily on
+// every Gather (i.e. every /metrics scrape) via an OnGather hook, so an
+// idle process pays nothing between scrapes. Registering the same
+// registry twice is a no-op.
+func RegisterRuntimeMetrics(r *Registry) {
+	if _, dup := runtimeRegistered.LoadOrStore(r, struct{}{}); dup {
+		return
+	}
+	goroutines := r.Gauge(MetricGoroutines,
+		"Current number of goroutines (from runtime/metrics, sampled at scrape time).")
+	heap := r.Gauge(MetricHeapBytes,
+		"Bytes of live heap objects (from runtime/metrics, sampled at scrape time).")
+	gcPause := r.Histogram(MetricGCPauseSeconds,
+		"Distribution of GC stop-the-world pause durations since process start, in seconds.", DefBuckets)
+	r.GaugeVec(MetricBuildInfo,
+		"Build identity of the running binary; constant 1.", "version", "go").
+		With(buildVersion(), runtime.Version()).Set(1)
+
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	var mu sync.Mutex
+	var prev []uint64
+	// Baseline the cumulative pause histogram now, so the obs histogram
+	// counts pauses since registration rather than replaying history on
+	// the first scrape.
+	metrics.Read(samples)
+	if h := samples[2].Value.Float64Histogram(); h != nil {
+		prev = append(prev, h.Counts...)
+	}
+	r.OnGather(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		metrics.Read(samples)
+		goroutines.Set(float64(samples[0].Value.Uint64()))
+		heap.Set(float64(samples[1].Value.Uint64()))
+		if h := samples[2].Value.Float64Histogram(); h != nil {
+			feedPauseDeltas(gcPause, h, &prev)
+		}
+	})
+}
+
+// feedPauseDeltas replays the new observations of the runtime's
+// cumulative pause histogram into the obs histogram, one bucket-midpoint
+// observation per new count. GC pauses per scrape interval number in the
+// tens at most, so the per-count Observe loop is cheap.
+func feedPauseDeltas(dst *Histogram, src *metrics.Float64Histogram, prev *[]uint64) {
+	counts := src.Counts
+	if len(*prev) != len(counts) {
+		*prev = append((*prev)[:0], counts...)
+		return
+	}
+	for i, c := range counts {
+		d := c - (*prev)[i]
+		(*prev)[i] = c
+		if d == 0 {
+			continue
+		}
+		lo, hi := src.Buckets[i], src.Buckets[i+1]
+		v := lo
+		switch {
+		case math.IsInf(lo, -1):
+			v = hi
+		case !math.IsInf(hi, 1):
+			v = (lo + hi) / 2
+		}
+		for ; d > 0; d-- {
+			dst.Observe(v)
+		}
+	}
+}
+
+// buildVersion reports the module version of the main package, falling
+// back to the VCS revision (dev builds) or "unknown".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "unknown"
+}

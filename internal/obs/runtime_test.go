@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func gatherFamily(t *testing.T, r *Registry, name string) *FamilySnapshot {
+	t.Helper()
+	for _, f := range r.Gather() {
+		if f.Name == name {
+			return &f
+		}
+	}
+	return nil
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := New()
+	RegisterRuntimeMetrics(r)
+
+	g := gatherFamily(t, r, MetricGoroutines)
+	if g == nil || len(g.Series) != 1 {
+		t.Fatalf("%s not gathered: %+v", MetricGoroutines, g)
+	}
+	if g.Series[0].Value < 1 {
+		t.Errorf("goroutines = %v, want >= 1", g.Series[0].Value)
+	}
+	h := gatherFamily(t, r, MetricHeapBytes)
+	if h == nil || h.Series[0].Value <= 0 {
+		t.Fatalf("%s not gathered or zero: %+v", MetricHeapBytes, h)
+	}
+	if p := gatherFamily(t, r, MetricGCPauseSeconds); p == nil || p.Kind != KindHistogram {
+		t.Fatalf("%s not gathered as histogram: %+v", MetricGCPauseSeconds, p)
+	}
+
+	bi := gatherFamily(t, r, MetricBuildInfo)
+	if bi == nil || len(bi.Series) != 1 {
+		t.Fatalf("%s not gathered: %+v", MetricBuildInfo, bi)
+	}
+	if bi.Series[0].Value != 1 {
+		t.Errorf("build info value = %v, want 1", bi.Series[0].Value)
+	}
+	if got := bi.Series[0].Labels; len(got) != 2 || got[0] == "" || got[1] == "" {
+		t.Errorf("build info labels = %v, want non-empty version and go", got)
+	}
+	if !strings.HasPrefix(bi.Series[0].Labels[1], "go") {
+		t.Errorf("go label = %q, want a runtime.Version() string", bi.Series[0].Labels[1])
+	}
+}
+
+func TestRegisterRuntimeMetricsIdempotent(t *testing.T) {
+	r := New()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r)
+	r.hookMu.Lock()
+	n := len(r.hooks)
+	r.hookMu.Unlock()
+	if n != 1 {
+		t.Errorf("double registration installed %d gather hooks, want 1", n)
+	}
+}
+
+func TestGCPauseDeltasAdvance(t *testing.T) {
+	r := New()
+	RegisterRuntimeMetrics(r)
+	runtime.GC()
+	runtime.GC()
+	p := gatherFamily(t, r, MetricGCPauseSeconds)
+	if p.Series[0].Count == 0 {
+		t.Errorf("no GC pauses observed after two forced GCs")
+	}
+	// A second gather must not replay the same pauses.
+	before := p.Series[0].Count
+	p = gatherFamily(t, r, MetricGCPauseSeconds)
+	// Counts can only grow by pauses that actually happened in between.
+	if p.Series[0].Count < before {
+		t.Errorf("pause count went backwards: %d -> %d", before, p.Series[0].Count)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := New()
+	v := r.GaugeVec("test_gauge_vec", "help", "shard")
+	v.With("a").Set(3)
+	v.With("b").Set(5)
+	f := gatherFamily(t, r, "test_gauge_vec")
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(f.Series))
+	}
+	if f.Series[0].Value != 3 || f.Series[1].Value != 5 {
+		t.Errorf("gauge vec values = %v, %v", f.Series[0].Value, f.Series[1].Value)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_exemplar_seconds", "help", DefBuckets)
+	h.ObserveExemplar(0.2, "")
+	if h.Exemplar() != nil {
+		t.Fatal("empty trace ID recorded an exemplar")
+	}
+	h.ObserveExemplar(0.4, "0123456789abcdef0123456789abcdef")
+	ex := h.Exemplar()
+	if ex == nil || ex.TraceID != "0123456789abcdef0123456789abcdef" || ex.Value != 0.4 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want both observations recorded", h.Count())
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# EXEMPLAR test_exemplar_seconds trace_id=0123456789abcdef0123456789abcdef value=0.4") {
+		t.Errorf("exposition lacks exemplar comment:\n%s", sb.String())
+	}
+}
+
+func TestOnGatherHookRuns(t *testing.T) {
+	r := New()
+	g := r.Gauge("test_hooked_gauge", "help")
+	n := 0
+	r.OnGather(func() { n++; g.Set(float64(n)) })
+	if f := gatherFamily(t, r, "test_hooked_gauge"); f.Series[0].Value != 1 {
+		t.Errorf("first gather value = %v, want 1", f.Series[0].Value)
+	}
+	if f := gatherFamily(t, r, "test_hooked_gauge"); f.Series[0].Value != 2 {
+		t.Errorf("second gather value = %v, want 2", f.Series[0].Value)
+	}
+}

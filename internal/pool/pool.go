@@ -10,6 +10,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -93,4 +94,85 @@ func ForEachNTimed(workers, n int, per Observer, fn func(i int) error) error {
 // worker and error semantics as ForEachN.
 func ForEach(workers int, items []int, fn func(item int) error) error {
 	return ForEachN(workers, len(items), func(i int) error { return fn(items[i]) })
+}
+
+// ForEachNCtx is ForEachNTimed with context cancellation: once ctx is
+// done, no further items are dispatched (items already running finish
+// normally — fn receives ctx and may observe the cancellation itself,
+// e.g. to cut short its own work). When items were skipped and no fn
+// returned an error, ctx.Err() is returned, so callers can distinguish a
+// complete fan-out from an abandoned one and discard partial output.
+// This is the serving path's variant: a disconnected HTTP client cancels
+// the per-parameter recommendation fan-out instead of burning workers on
+// an answer nobody will read.
+func ForEachNCtx(ctx context.Context, workers, n int, per Observer, fn func(ctx context.Context, i int) error) error {
+	if per != nil {
+		inner := fn
+		fn = func(ctx context.Context, i int) error {
+			start := time.Now()
+			err := inner(ctx, i)
+			per.Observe(time.Since(start).Seconds())
+			return err
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines, no channel, same semantics.
+		var err error
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				if err == nil {
+					err = ctx.Err()
+				}
+				break
+			}
+			if e := fn(ctx, i); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+		work = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if e := fn(ctx, i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	done := ctx.Done()
+	skipped := false
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-done:
+			skipped = true
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err == nil && skipped {
+		err = ctx.Err()
+	}
+	return err
 }

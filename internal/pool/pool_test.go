@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -93,5 +94,73 @@ func TestForEachNTimedObservesEveryItem(t *testing.T) {
 		if o.total < 0.025 {
 			t.Fatalf("workers=%d: total observed %.4fs, want >= 25ms", workers, o.total)
 		}
+	}
+}
+
+func TestForEachNCtxCoversEveryItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var hits [100]int32
+		if err := ForEachNCtx(context.Background(), workers, len(hits), nil, func(_ context.Context, i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachNCtxCancellationStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachNCtx(ctx, workers, 1000, nil, func(_ context.Context, i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight items finish, but dispatch stops: far fewer than 1000 run.
+		if n := ran.Load(); n >= 1000 || n < 5 {
+			t.Fatalf("workers=%d: %d items ran after cancellation at item 5", workers, n)
+		}
+	}
+}
+
+func TestForEachNCtxItemErrorWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := fmt.Errorf("boom")
+	err := ForEachNCtx(ctx, 2, 50, nil, func(_ context.Context, i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the item error", err)
+	}
+}
+
+func TestForEachNCtxObservesItems(t *testing.T) {
+	var o sumObserver
+	if err := ForEachNCtx(context.Background(), 4, 25, &o, func(context.Context, int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if o.n != 25 {
+		t.Fatalf("observed %d items, want 25", o.n)
 	}
 }

@@ -1,0 +1,90 @@
+package trace
+
+import "strconv"
+
+// attrKind discriminates the typed attribute payload.
+type attrKind uint8
+
+const (
+	kindStr attrKind = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// Attr is one typed span attribute. The setters are monomorphic (SetStr,
+// SetInt, ...) rather than a single SetAttr(key, any) so that annotating
+// an unsampled (nil) span never boxes the value into an interface — the
+// zero-allocation guarantee covers the arguments, not just the receiver.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  int64
+	f    float64
+}
+
+// Value returns the attribute value as the natural dynamic type, for JSON
+// encoding and tree printing.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.num
+	case kindFloat:
+		return a.f
+	case kindBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// valueString renders the attribute value for the text span tree.
+func (a Attr) valueString() string {
+	switch a.kind {
+	case kindInt:
+		return strconv.FormatInt(a.num, 10)
+	case kindFloat:
+		return strconv.FormatFloat(a.f, 'g', 4, 64)
+	case kindBool:
+		return strconv.FormatBool(a.num != 0)
+	default:
+		return a.str
+	}
+}
+
+// SetStr attaches a string attribute (no-op on a nil span).
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, kind: kindStr, str: v})
+}
+
+// SetInt attaches an integer attribute (no-op on a nil span).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, kind: kindInt, num: v})
+}
+
+// SetFloat attaches a float attribute (no-op on a nil span).
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, kind: kindFloat, f: v})
+}
+
+// SetBool attaches a boolean attribute (no-op on a nil span).
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, kind: kindBool, num: n})
+}

@@ -1,0 +1,61 @@
+// Benchmarks pinning the tracer's cost discipline: the unsampled span
+// path must be allocation-free (like obs's ~8ns counters, tracing has to
+// be affordable on every request, not just traced ones), and the sampled
+// path should stay in the sub-microsecond range so a 1.0 sample rate on a
+// reference deployment doesn't distort the histograms it annotates.
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanUnsampled is the acceptance benchmark: starting,
+// annotating and finishing a span below an unsampled root must not
+// allocate — the recommend fan-out crosses this path 39+ times per
+// request at any sampling rate.
+func BenchmarkSpanUnsampled(b *testing.B) {
+	tr := New(Options{})
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	defer root.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "child")
+		sp.SetStr("param", "sFreqPrio")
+		sp.SetInt("candidates", 12)
+		sp.Finish()
+	}
+}
+
+func BenchmarkSpanSampled(b *testing.B) {
+	tr := New(Options{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Roll the trace over periodically so the span buffer stays
+		// request-sized instead of growing with b.N.
+		if i&0xfff == 0xfff {
+			root.Finish()
+			ctx, root = tr.StartRoot(context.Background(), "root")
+		}
+		_, sp := Start(ctx, "child")
+		sp.SetStr("param", "sFreqPrio")
+		sp.SetInt("candidates", 12)
+		sp.Finish()
+	}
+	root.Finish()
+}
+
+// BenchmarkRingPush measures the commit path under the ring's atomic
+// cursor — the cost of publishing one finished trace.
+func BenchmarkRingPush(b *testing.B) {
+	r := newRing(256)
+	tr := &Trace{Root: "r"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.push(tr)
+	}
+}

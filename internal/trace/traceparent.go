@@ -1,0 +1,66 @@
+package trace
+
+// ParseTraceParent parses a W3C traceparent header value
+// (version-traceid-parentid-flags, e.g.
+// "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01").
+// It returns the trace id, the parent span id, whether the caller set the
+// sampled flag, and whether the header was structurally valid. Invalid
+// headers — wrong lengths or separators, uppercase or non-hex digits, the
+// forbidden version 0xff, all-zero trace or parent ids — report ok=false
+// and the caller starts a fresh trace, the restart behaviour the spec
+// mandates. Future versions (anything other than 00) are accepted as long
+// as the version-00 prefix parses and any extra data is dash-separated.
+func ParseTraceParent(h string) (traceID TraceID, parentID SpanID, sampled, ok bool) {
+	if len(h) < 55 {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false, false
+	}
+	version, vok := hexByte(h[0], h[1])
+	if !vok || version == 0xff {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if version == 0 && len(h) != 55 {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if version != 0 && len(h) > 55 && h[55] != '-' {
+		return TraceID{}, SpanID{}, false, false
+	}
+	for i := 0; i < 16; i++ {
+		b, bok := hexByte(h[3+2*i], h[4+2*i])
+		if !bok {
+			return TraceID{}, SpanID{}, false, false
+		}
+		traceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, bok := hexByte(h[36+2*i], h[37+2*i])
+		if !bok {
+			return TraceID{}, SpanID{}, false, false
+		}
+		parentID[i] = b
+	}
+	flags, fok := hexByte(h[53], h[54])
+	if !fok || traceID.IsZero() || parentID.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	return traceID, parentID, flags&0x01 != 0, true
+}
+
+// hexByte decodes two lowercase hex digits; the spec forbids uppercase.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, hok := hexNibble(hi)
+	l, lok := hexNibble(lo)
+	return h<<4 | l, hok && lok
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

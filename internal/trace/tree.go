@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatTree renders a committed trace as an indented text span tree —
+// what auriceval prints under -timings -trace:
+//
+//	trace 0af7651916cd43dd8448eb211c80319c (1.8ms)
+//	└─ engine.recommend 1.8ms carrier=12 jobs=39
+//	   ├─ recommend.param 0.4ms param=sFreqPrio relaxation_level=0 ...
+//	   └─ recommend.param 0.2ms param=cellReselPrio ...
+//
+// Children sort by start time; spans whose parent never finished (or was
+// dropped) attach to the root level so nothing is silently lost.
+func FormatTree(tr *Trace) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s (%s)", tr.TraceID, tr.Duration.Round(10e3))
+	if tr.ForcedSlow {
+		sb.WriteString(" [forced: slow]")
+	}
+	sb.WriteByte('\n')
+
+	byID := make(map[SpanID]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = true
+	}
+	children := make(map[SpanID][]SpanData)
+	var roots []SpanData
+	for _, sp := range tr.Spans {
+		if sp.Parent.IsZero() || !byID[sp.Parent] {
+			roots = append(roots, sp)
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	byStart := func(s []SpanData) {
+		sort.SliceStable(s, func(a, b int) bool { return s[a].Start.Before(s[b].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	var walk func(sp SpanData, prefix string, last bool)
+	walk = func(sp SpanData, prefix string, last bool) {
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(&sb, "%s%s%s %s", prefix, branch, sp.Name, sp.Duration.Round(10e3))
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&sb, " %s=%s", a.Key, a.valueString())
+		}
+		sb.WriteByte('\n')
+		kids := children[sp.ID]
+		for i, c := range kids {
+			walk(c, childPrefix, i == len(kids)-1)
+		}
+	}
+	for i, r := range roots {
+		walk(r, "", i == len(roots)-1)
+	}
+	return sb.String()
+}

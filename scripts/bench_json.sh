@@ -1,16 +1,19 @@
 #!/bin/sh
-# bench-json: run the hot-path benchmarks (dataset assembly, CF fit and
-# predict, engine train/recommend) and write the raw `go test -bench`
-# output plus a machine-readable summary to BENCH_cf.json. The JSON file
-# is committed so EXPERIMENTS.md numbers stay reproducible and successive
-# PRs can diff ns/op, B/op and allocs/op without re-reading prose.
+# bench-json: run the hot-path benchmarks and write the raw
+# `go test -bench` output as machine-readable JSON — BENCH_cf.json for
+# the dataset + CF learner suites (root package and internal/learn/cf)
+# and BENCH_core.json for the engine suite (internal/core). The JSON
+# files are committed so EXPERIMENTS.md numbers stay reproducible and
+# successive PRs can diff ns/op, B/op and allocs/op without re-reading
+# prose.
 #
-# Usage: scripts/bench_json.sh [out.json]
+# Usage: scripts/bench_json.sh [cf-out.json [core-out.json]]
 # Env:   BENCHTIME (default 1s), COUNT (default 1), SHORT=1 to skip the
 #        near-paper "large" scale.
 set -eu
 
-out=${1:-BENCH_cf.json}
+cf_out=${1:-BENCH_cf.json}
+core_out=${2:-BENCH_core.json}
 benchtime=${BENCHTIME:-1s}
 count=${COUNT:-1}
 shortflag=""
@@ -19,26 +22,33 @@ shortflag=""
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "bench-json: running benchmarks (benchtime=$benchtime count=$count short=${SHORT:-0})"
-go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
-    . ./internal/learn/cf/ ./internal/core/ | tee "$tmp"
-
-# Fold the benchmark lines into JSON: one record per Benchmark line with
-# name, iterations, and every "value unit" metric pair goparse emits.
-awk -v benchtime="$benchtime" -v count="$count" '
-BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"count\": %s,\n  \"results\": [\n", benchtime, count }
-/^goos:/    { goos = $2 }
-/^goarch:/  { goarch = $2 }
-/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
-/^Benchmark/ {
-    if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
-    for (i = 3; i + 1 <= NF; i += 2)
-        printf ", \"%s\": %s", $(i + 1), $i
-    printf "}"
+# fold_json <raw-bench-output> <out.json>: one JSON record per Benchmark
+# line with name, iterations, and every "value unit" metric pair.
+fold_json() {
+    awk -v benchtime="$benchtime" -v count="$count" '
+    BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"count\": %s,\n  \"results\": [\n", benchtime, count }
+    /^goos:/    { goos = $2 }
+    /^goarch:/  { goarch = $2 }
+    /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ {
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+        for (i = 3; i + 1 <= NF; i += 2)
+            printf ", \"%s\": %s", $(i + 1), $i
+        printf "}"
+    }
+    END {
+        printf "\n  ],\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
+    }' "$1" >"$2"
+    echo "bench-json: wrote $2 ($(grep -c '"name"' "$2") benchmarks)"
 }
-END {
-    printf "\n  ],\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
-}' "$tmp" >"$out"
 
-echo "bench-json: wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+echo "bench-json: running dataset + CF benchmarks (benchtime=$benchtime count=$count short=${SHORT:-0})"
+go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
+    . ./internal/learn/cf/ | tee "$tmp"
+fold_json "$tmp" "$cf_out"
+
+echo "bench-json: running engine benchmarks"
+go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
+    ./internal/core/ | tee "$tmp"
+fold_json "$tmp" "$core_out"

@@ -1,7 +1,9 @@
 #!/bin/sh
-# serve-smoke: boot auricd on a random port, curl /healthz and /metrics,
-# then deliver SIGTERM and require a clean (exit 0) graceful shutdown.
-# This is the end-to-end check behind `make serve-smoke` (OPERATIONS.md).
+# serve-smoke: boot auricd on a random port, curl /healthz, /metrics,
+# /v1/recommend and /debug/traces, require a traceparent response header
+# and a non-empty JSONL audit log, then deliver SIGTERM and require a
+# clean (exit 0) graceful shutdown. This is the end-to-end check behind
+# `make serve-smoke` (OPERATIONS.md), and it runs inside `make check`.
 set -eu
 
 tmp=$(mktemp -d)
@@ -11,7 +13,8 @@ echo "serve-smoke: building auricd"
 go build -o "$tmp/auricd" ./cmd/auricd
 
 log="$tmp/auricd.log"
-"$tmp/auricd" -addr 127.0.0.1:0 -markets 1 -enbs 8 >"$log" 2>&1 &
+auditlog="$tmp/audit.jsonl"
+"$tmp/auricd" -addr 127.0.0.1:0 -markets 1 -enbs 8 -audit-log "$auditlog" >"$log" 2>&1 &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
@@ -38,11 +41,43 @@ echo "serve-smoke: /healthz ok"
 metrics=$(curl -fsS "http://$addr/metrics")
 for want in auric_http_requests_total auric_http_request_seconds_bucket \
     auric_engine_train_seconds auric_engine_train_param_seconds \
-    auric_dataset_label_seconds auric_http_in_flight_requests; do
+    auric_dataset_label_seconds auric_http_in_flight_requests \
+    auric_go_goroutines auric_go_heap_bytes auric_build_info; do
     echo "$metrics" | grep -q "$want" || {
         echo "serve-smoke: /metrics missing $want"; exit 1; }
 done
-echo "serve-smoke: /metrics exposes the serving and pipeline metrics"
+echo "serve-smoke: /metrics exposes the serving, pipeline and runtime metrics"
+
+# One recommendation: the response must carry a traceparent header and
+# the trace must land at /debug/traces with per-parameter spans.
+headers="$tmp/headers.txt"
+curl -fsS -D "$headers" -o "$tmp/recommend.json" \
+    -H 'Content-Type: application/json' -d '{"carrier": 5}' \
+    "http://$addr/v1/recommend"
+grep -qi '^traceparent: 00-[0-9a-f]\{32\}-[0-9a-f]\{16\}-01' "$headers" || {
+    echo "serve-smoke: recommend response lacks a sampled traceparent header:"
+    cat "$headers"; exit 1; }
+echo "serve-smoke: /v1/recommend echoes a traceparent header"
+
+traces=$(curl -fsS "http://$addr/debug/traces")
+echo "$traces" | grep -q '"recommend.param"' || {
+    echo "serve-smoke: /debug/traces has no recommend.param spans"; exit 1; }
+echo "$traces" | grep -q '"relaxation_level"' || {
+    echo "serve-smoke: recommend.param spans lack relaxation levels"; exit 1; }
+echo "serve-smoke: /debug/traces serves the recommendation span tree"
+
+# The audit log must hold one valid JSONL record per recommendation value.
+[ -s "$auditlog" ] || { echo "serve-smoke: audit log empty or missing"; exit 1; }
+lines=$(wc -l <"$auditlog")
+recs=$(grep -c '"param"' "$auditlog")
+[ "$lines" -eq "$recs" ] || {
+    echo "serve-smoke: audit log has $lines lines but $recs records"; exit 1; }
+if grep -q '"traceId":"0\{32\}"' "$auditlog"; then
+    echo "serve-smoke: audit records carry an all-zero trace id"; exit 1
+fi
+grep -q '"relaxationLevel"' "$auditlog" || {
+    echo "serve-smoke: audit records lack relaxation levels"; exit 1; }
+echo "serve-smoke: audit log holds $recs valid JSONL records"
 
 kill -TERM "$pid"
 status=0
