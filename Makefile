@@ -6,9 +6,9 @@
 # concurrent scrape + increment.
 GO ?= go
 
-.PHONY: check build vet fmt-check doc-audit test race bench bench-smoke bench-json serve-smoke
+.PHONY: check build vet fmt-check doc-audit test race bench bench-smoke bench-json bench-compare serve-smoke
 
-check: build vet fmt-check doc-audit test race bench-smoke serve-smoke
+check: build vet fmt-check doc-audit test race bench-smoke bench-compare serve-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,27 @@ bench-smoke:
 # BENCH_core.json (engine) — see scripts/bench_json.sh for knobs.
 bench-json:
 	./scripts/bench_json.sh
+
+# bench-compare prints a benchstat-style delta between two bench-json
+# files (scripts/benchcompare). Explicit form:
+#   make bench-compare OLD=old.json NEW=new.json
+# Without OLD, it runs in report-only mode against the committed
+# baselines: any working-tree BENCH_*.json that differs from HEAD is
+# diffed against its committed version, and nothing fails — the delta is
+# informational, so a measurement wobble never breaks `make check`.
+bench-compare:
+ifdef OLD
+	$(GO) run ./scripts/benchcompare $(OLD) $(NEW)
+else
+	@for f in BENCH_cf.json BENCH_core.json; do \
+		if git cat-file -e HEAD:$$f 2>/dev/null && ! git diff --quiet HEAD -- $$f 2>/dev/null; then \
+			base=$$(mktemp); git show HEAD:$$f > $$base; \
+			$(GO) run ./scripts/benchcompare $$base $$f || true; \
+			rm -f $$base; \
+		fi; \
+	done
+	@echo "bench-compare: done (report-only vs committed baselines)"
+endif
 
 # serve-smoke boots auricd on a random port, exercises /healthz,
 # /metrics, /v1/recommend, /debug/traces and the audit log over real

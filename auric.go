@@ -73,6 +73,11 @@ type (
 	// Recommendation is one recommended parameter value with confidence
 	// and a human-readable explanation.
 	Recommendation = core.Recommendation
+	// BatchItem is one carrier's request within an Engine.RecommendBatch
+	// call.
+	BatchItem = core.BatchItem
+	// BatchResult is the per-item outcome of Engine.RecommendBatch.
+	BatchResult = core.BatchResult
 	// Learner is the pluggable dependency-model learner interface.
 	Learner = learn.Learner
 )

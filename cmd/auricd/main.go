@@ -23,6 +23,11 @@
 //	{"carrier": 123}
 //	{"enodeb": 45, "frequencyMHz": 1900}
 //
+// A JSON array of such objects requests a batch: every item is answered
+// in its own slot of the "results" array (recommendations or a per-item
+// "error"), so one bad item never fails its siblings, and all valid items
+// share one engine fan-out.
+//
 // Errors are JSON objects of the form {"error": "..."}. The server runs
 // with explicit read/write timeouts and drains in-flight requests on
 // SIGINT/SIGTERM before exiting. OPERATIONS.md documents every endpoint,
@@ -30,9 +35,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -41,6 +48,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -60,11 +68,17 @@ type server struct {
 	// world is present when the network was generated in-process; it
 	// enables richer new-carrier synthesis. Snapshot-served networks run
 	// with world == nil and derive new carriers from a co-sited donor.
-	world  *auric.World
-	newRNG *rng.RNG
+	world *auric.World
+	// newRNG drives new-carrier synthesis sampling; it is shared across
+	// request goroutines and guarded by newRNGMu.
+	newRNG   *rng.RNG
+	newRNGMu sync.Mutex
 	// recommendations counts recommendation values served, by voting
 	// support (auric_recommendations_total{supported}).
 	recommendations *obs.CounterVec
+	// batchSize distributes the carriers per POST /v1/recommend request
+	// (auric_recommend_batch_size; the single-object form observes 1).
+	batchSize *obs.Histogram
 	// audit, when non-nil, receives one record per recommendation value
 	// served by POST /v1/recommend.
 	audit *audit.Log
@@ -212,6 +226,9 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 	}
 	s.recommendations = reg.CounterVec("auric_recommendations_total",
 		"Recommendation values served by POST /v1/recommend, by voting support.", "supported")
+	s.batchSize = reg.Histogram("auric_recommend_batch_size",
+		"Carriers per POST /v1/recommend request (1 for the single-object form).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 
 	mux := http.NewServeMux()
 	route := func(method, pattern string, h http.HandlerFunc) {
@@ -303,8 +320,10 @@ type recommendRequest struct {
 }
 
 type recommendation struct {
-	Param       string  `json:"param"`
-	Neighbor    int     `json:"neighbor,omitempty"`
+	Param string `json:"param"`
+	// Neighbor is -1 for singular parameters; 0 is a valid carrier id,
+	// so the field is never omitted.
+	Neighbor    int     `json:"neighbor"`
 	Value       float64 `json:"value"`
 	Confidence  float64 `json:"confidence"`
 	Supported   bool    `json:"supported"`
@@ -315,22 +334,115 @@ type recommendation struct {
 	Candidates      int `json:"candidates"`
 }
 
+// handleRecommend serves both request forms of POST /v1/recommend: a
+// single request object (the original API, response shape unchanged) and
+// an array of request objects, answered item by item. Batch items fail
+// independently — a bad carrier id yields {"error": ...} in that item's
+// slot while its siblings are still recommended — so one malformed entry
+// never turns a 200 into a 400 for the rest of the batch.
 func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
-	var req recommendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		writeError(rw, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
-	var (
-		carrier   *auric.Carrier
-		neighbors []auric.CarrierID
-	)
+	if isJSONArray(body) {
+		s.handleRecommendBatch(rw, r, body)
+		return
+	}
+	var req recommendRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	s.observeBatchSize(1)
+	carrier, neighbors, status, msg := s.resolveRecommend(req)
+	if status != 0 {
+		writeError(rw, status, msg)
+		return
+	}
+	recs, err := s.engine.RecommendContext(r.Context(), carrier, neighbors)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The root span's trace id joins the response, the span tree at
+	// /debug/traces and the audit records (present at any sample rate).
+	traceID := requestTraceID(r)
+	writeJSON(rw, map[string]any{
+		"carrier":         carrier.ID,
+		"traceId":         traceID,
+		"recommendations": s.renderRecommendations(carrier, recs, traceID),
+	})
+}
+
+// batchEntry is one item's slot in a batch response: recommendations or
+// an error, never both.
+type batchEntry struct {
+	Carrier         int              `json:"carrier"`
+	Error           string           `json:"error,omitempty"`
+	Recommendations []recommendation `json:"recommendations,omitempty"`
+}
+
+// handleRecommendBatch answers the array form: every item resolves and
+// recommends independently, valid items share one engine fan-out
+// (Engine.RecommendBatch), and the response carries one entry per item in
+// request order.
+func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, body []byte) {
+	var reqs []recommendRequest
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(rw, http.StatusBadRequest, "empty batch")
+		return
+	}
+	s.observeBatchSize(len(reqs))
+	entries := make([]batchEntry, len(reqs))
+	items := make([]auric.BatchItem, 0, len(reqs))
+	itemOf := make([]int, 0, len(reqs)) // batch item -> request index
+	for i, req := range reqs {
+		carrier, neighbors, status, msg := s.resolveRecommend(req)
+		if status != 0 {
+			entries[i] = batchEntry{Carrier: -1, Error: msg}
+			continue
+		}
+		entries[i].Carrier = int(carrier.ID)
+		items = append(items, auric.BatchItem{Carrier: carrier, Neighbors: neighbors})
+		itemOf = append(itemOf, i)
+	}
+	traceID := requestTraceID(r)
+	if len(items) > 0 {
+		results, err := s.engine.RecommendBatch(r.Context(), items)
+		if err != nil {
+			writeError(rw, http.StatusInternalServerError, err.Error())
+			return
+		}
+		for bi, res := range results {
+			e := &entries[itemOf[bi]]
+			if res.Err != nil {
+				e.Error = res.Err.Error()
+				continue
+			}
+			e.Recommendations = s.renderRecommendations(items[bi].Carrier, res.Recommendations, traceID)
+		}
+	}
+	writeJSON(rw, map[string]any{
+		"traceId": traceID,
+		"results": entries,
+	})
+}
+
+// resolveRecommend turns one request into the carrier to recommend for
+// (and its pair-wise neighbors); a non-zero status reports a per-request
+// resolution failure.
+func (s *server) resolveRecommend(req recommendRequest) (carrier *auric.Carrier, neighbors []auric.CarrierID, status int, msg string) {
 	switch {
 	case req.Carrier != nil:
 		id := *req.Carrier
 		if id < 0 || id >= len(s.net.Carriers) {
-			writeError(rw, http.StatusNotFound, "unknown carrier")
-			return
+			return nil, nil, http.StatusNotFound, "unknown carrier"
 		}
 		carrier = &s.net.Carriers[id]
 		if req.Pairwise {
@@ -339,34 +451,26 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 	case req.ENodeB != nil:
 		enb := *req.ENodeB
 		if enb < 0 || enb >= len(s.net.ENodeBs) {
-			writeError(rw, http.StatusNotFound, "unknown eNodeB")
-			return
+			return nil, nil, http.StatusNotFound, "unknown eNodeB"
 		}
 		nc := s.newCarrierAt(auric.ENodeBID(enb))
 		if nc == nil {
-			writeError(rw, http.StatusConflict, "eNodeB hosts no carriers to derive from")
-			return
+			return nil, nil, http.StatusConflict, "eNodeB hosts no carriers to derive from"
 		}
 		if req.FrequencyMHz != 0 {
 			nc.FrequencyMHz = req.FrequencyMHz
 		}
 		carrier = nc
 	default:
-		writeError(rw, http.StatusBadRequest, "specify carrier or enodeb")
-		return
+		return nil, nil, http.StatusBadRequest, "specify carrier or enodeb"
 	}
+	return carrier, neighbors, 0, ""
+}
 
-	recs, err := s.engine.RecommendContext(r.Context(), carrier, neighbors)
-	if err != nil {
-		writeError(rw, http.StatusInternalServerError, err.Error())
-		return
-	}
-	// The root span's trace id joins the response, the span tree at
-	// /debug/traces and the audit records (present at any sample rate).
-	var traceID string
-	if sp := trace.FromContext(r.Context()); sp != nil {
-		traceID = sp.TraceID().String()
-	}
+// renderRecommendations converts engine recommendations to response DTOs
+// and feeds the per-value serving counter and audit log — shared by the
+// single and batch forms so observability stays per-carrier either way.
+func (s *server) renderRecommendations(carrier *auric.Carrier, recs []auric.Recommendation, traceID string) []recommendation {
 	now := time.Now()
 	out := make([]recommendation, 0, len(recs))
 	for _, rec := range recs {
@@ -406,19 +510,57 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(rw, map[string]any{
-		"carrier":         carrier.ID,
-		"traceId":         traceID,
-		"recommendations": out,
-	})
+	return out
 }
 
+// requestTraceID extracts the root span's trace id ("" when untraced).
+func requestTraceID(r *http.Request) string {
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		return sp.TraceID().String()
+	}
+	return ""
+}
+
+func (s *server) observeBatchSize(n int) {
+	if s.batchSize != nil {
+		s.batchSize.Observe(float64(n))
+	}
+}
+
+// isJSONArray reports whether the body's first JSON token opens an array
+// (the batch form of /v1/recommend).
+func isJSONArray(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return b == '['
+		}
+	}
+	return false
+}
+
+// jsonBufs pools response encode buffers: recommend responses run to
+// hundreds of KB (65 parameters x explanation strings), and encoding into
+// a pooled buffer instead of a per-response one keeps the serving path's
+// allocation rate flat under load.
+var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(rw http.ResponseWriter, v any) {
-	rw.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(rw)
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	defer jsonBufs.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		log.Printf("auricd: encoding response: %v", err)
+		writeError(rw, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if _, err := rw.Write(buf.Bytes()); err != nil {
+		log.Printf("auricd: writing response: %v", err)
 	}
 }
 
@@ -453,6 +595,8 @@ func attributeNames() []string {
 func (s *server) newCarrierAt(enb auric.ENodeBID) *auric.Carrier {
 	id := auric.CarrierID(len(s.net.Carriers))
 	if s.world != nil {
+		s.newRNGMu.Lock()
+		defer s.newRNGMu.Unlock()
 		return s.world.NewCarrierAt(enb, id, s.newRNG)
 	}
 	e := &s.net.ENodeBs[enb]

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -473,5 +474,150 @@ func TestDebugTracesMethodNotAllowed(t *testing.T) {
 	h, _ := testHandler(t)
 	if rec := do(h, "POST", "/debug/traces", ""); rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /debug/traces status = %d, want 405", rec.Code)
+	}
+}
+
+// TestHandleRecommendBatch pins the batch form of POST /v1/recommend: a
+// mixed batch of valid and invalid items answers 200 with one entry per
+// item in request order — per-item errors, not a whole-request failure —
+// and each valid entry matches the single-object form for the same
+// carrier.
+func TestHandleRecommendBatch(t *testing.T) {
+	s := testServer(t)
+	body := `[
+		{"carrier": 5},
+		{"carrier": 999999},
+		{"enodeb": 4, "frequencyMHz": 1900},
+		{},
+		{"carrier": 7, "pairwise": true}
+	]`
+	rec := httptest.NewRecorder()
+	s.handleRecommend(rec, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results []struct {
+			Carrier         int              `json:"carrier"`
+			Error           string           `json:"error"`
+			Recommendations []recommendation `json:"recommendations"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(resp.Results))
+	}
+	for _, i := range []int{0, 2, 4} {
+		r := resp.Results[i]
+		if r.Error != "" || len(r.Recommendations) == 0 {
+			t.Errorf("item %d: error=%q recs=%d, want recommendations", i, r.Error, len(r.Recommendations))
+		}
+	}
+	if r := resp.Results[1]; r.Error != "unknown carrier" || r.Recommendations != nil {
+		t.Errorf("item 1 = %+v, want per-item unknown-carrier error", r)
+	}
+	if r := resp.Results[3]; r.Error != "specify carrier or enodeb" {
+		t.Errorf("item 3 error = %q", r.Error)
+	}
+	// Pairwise items include neighbor recommendations.
+	sawNeighbor := false
+	for _, r := range resp.Results[4].Recommendations {
+		if r.Neighbor != 0 {
+			sawNeighbor = true
+		}
+	}
+	if !sawNeighbor {
+		t.Error("pairwise batch item has no neighbor recommendations")
+	}
+
+	// The batch entry for carrier 5 equals the single-object response.
+	single := httptest.NewRecorder()
+	s.handleRecommend(single, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(`{"carrier": 5}`)))
+	var sresp struct {
+		Recommendations []recommendation `json:"recommendations"`
+	}
+	if err := json.Unmarshal(single.Body.Bytes(), &sresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sresp.Recommendations) != len(resp.Results[0].Recommendations) {
+		t.Fatalf("batch item has %d recommendations, single call %d",
+			len(resp.Results[0].Recommendations), len(sresp.Recommendations))
+	}
+	for i := range sresp.Recommendations {
+		if sresp.Recommendations[i] != resp.Results[0].Recommendations[i] {
+			t.Errorf("recommendation %d differs: batch %+v vs single %+v",
+				i, resp.Results[0].Recommendations[i], sresp.Recommendations[i])
+		}
+	}
+}
+
+// TestHandleRecommendBatchDegenerate pins the malformed-batch responses.
+func TestHandleRecommendBatchDegenerate(t *testing.T) {
+	s := testServer(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`[]`, http.StatusBadRequest},
+		{`[not json]`, http.StatusBadRequest},
+		{`  [{"carrier": 5}]`, http.StatusOK}, // leading whitespace still batch
+	} {
+		rec := httptest.NewRecorder()
+		s.handleRecommend(rec, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(tc.body)))
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, rec.Code, tc.want)
+		}
+	}
+}
+
+// TestBatchSizeMetric asserts the batch-size histogram advances for both
+// request forms through the full handler stack.
+func TestBatchSizeMetric(t *testing.T) {
+	h, _ := testHandler(t)
+	if rec := do(h, "POST", "/v1/recommend", `{"carrier": 5}`); rec.Code != http.StatusOK {
+		t.Fatalf("single: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(h, "POST", "/v1/recommend", `[{"carrier": 1}, {"carrier": 2}, {"carrier": 3}]`); rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body.String())
+	}
+	body := do(h, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		`auric_recommend_batch_size_count 2`,
+		`auric_recommend_batch_size_sum 4`,
+		`auric_recommend_batch_size_bucket{le="1"} 1`,
+		`auric_recommend_batch_size_bucket{le="4"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// Concurrent new-carrier requests share the server's synthesis RNG; the
+// tight loop exists so `go test -race` gates the lock around it (the
+// full HTTP path spends too little time in the draw to interleave).
+func TestConcurrentNewCarrierRecommends(t *testing.T) {
+	s := testServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if c := s.newCarrierAt(2); c == nil {
+					t.Error("newCarrierAt returned nil")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rec := httptest.NewRecorder()
+	s.handleRecommend(rec, httptest.NewRequest("POST", "/v1/recommend",
+		strings.NewReader(`[{"enodeb": 2}, {"enodeb": 5}]`)))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status %d: %s", rec.Code, rec.Body.String())
 	}
 }

@@ -7,6 +7,8 @@ package core
 // and BENCH_cf.json.
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -50,5 +52,41 @@ func BenchmarkEngineRecommend(b *testing.B) {
 		if _, err := e.Recommend(c, nbs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRecommendBatch measures the batched serving path at three batch
+// sizes: each iteration recommends every parameter (pair-wise included)
+// for n carriers in one RecommendBatch fan-out, amortizing query encoding
+// and scratch reuse across the batch. The per-carrier figure is reported
+// as the carrier-us metric for comparison against BenchmarkEngineRecommend.
+func BenchmarkRecommendBatch(b *testing.B) {
+	w := benchWorld(b)
+	e := New(w.Schema, Options{Workers: 1})
+	if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("carriers=%d", n), func(b *testing.B) {
+			items := make([]BatchItem, n)
+			for i := range items {
+				c := &w.Net.Carriers[i%len(w.Net.Carriers)]
+				items[i] = BatchItem{Carrier: c, Neighbors: w.X2.CarrierNeighbors(c.ID)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.RecommendBatch(context.Background(), items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*n), "carrier-us")
+		})
 	}
 }

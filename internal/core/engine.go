@@ -204,57 +204,172 @@ func (e *Engine) RecommendContext(ctx context.Context, c *lte.Carrier, neighbors
 	if e.net == nil {
 		return nil, fmt.Errorf("core: engine not trained")
 	}
-	start := time.Now()
-	ctx, sp := trace.Start(ctx, "engine.recommend")
-	defer func() {
-		sp.Finish()
-		// The exemplar joins the aggregate latency histogram to this
-		// concrete trace; unsampled requests pass an empty ID (no-op).
-		var exemplar string
-		if sp.Sampled() {
-			exemplar = sp.TraceID().String()
-		}
-		recommendSeconds.ObserveExemplar(time.Since(start).Seconds(), exemplar)
-	}()
-	var scope func(dataset.Site) bool
-	if e.opts.Local {
-		scope = e.scopeFor(c)
+	res := e.recommendMany(ctx, []BatchItem{{Carrier: c, Neighbors: neighbors}})
+	return res[0].Recommendations, res[0].Err
+}
+
+// BatchItem is one carrier's recommendation request within a batch.
+type BatchItem struct {
+	// Carrier is the new carrier to recommend for.
+	Carrier *lte.Carrier
+	// Neighbors lists its X2 neighbor carriers for pair-wise parameters;
+	// nil skips those.
+	Neighbors []lte.CarrierID
+}
+
+// BatchResult is the per-item outcome of RecommendBatch: either the item's
+// recommendations or its error, never both.
+type BatchResult struct {
+	Recommendations []Recommendation
+	Err             error
+}
+
+// RecommendBatch recommends for many carriers in one fan-out over the
+// worker pool. Every item's result is byte-identical to a RecommendContext
+// call for the same carrier, and item failures are isolated: an unusable
+// item reports its error in its own slot without failing the batch.
+//
+// The batch amortizes per-request setup: each attribute vector is encoded
+// through the column dictionaries once (learn.CodesModel) and shared by
+// every model fitted over the same columnar base, and the per-worker
+// predict scratch pools stay hot across items. Tracing and metrics stay
+// per-carrier — one "engine.recommend" span and one latency observation
+// per item.
+func (e *Engine) RecommendBatch(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	if e.net == nil {
+		return nil, fmt.Errorf("core: engine not trained")
 	}
-	// Every (parameter, neighbor) prediction is independent, so they fan
-	// out over the worker pool. Each job writes its preallocated slot and
-	// the fitted models are read-only, so the output is byte-identical to
-	// the serial walk at any worker count.
+	return e.recommendMany(ctx, items), nil
+}
+
+// codesRep returns a model against which every model of pis shares its
+// query encoding — the representative a batch encodes rows through once —
+// or nil when any model opts out of the codes fast path.
+func (e *Engine) codesRep(pis []int) learn.CodesModel {
+	var rep learn.CodesModel
+	for _, pi := range pis {
+		m, ok := e.models[pi].(learn.CodesModel)
+		if !ok {
+			return nil
+		}
+		if rep == nil {
+			rep = m
+			continue
+		}
+		if !rep.SharesEncoding(m) {
+			return nil
+		}
+	}
+	return rep
+}
+
+// scopesFor precomputes, per parameter model, the neighborhood scope for
+// the allowed From carriers (nil for models without SiteScoper support,
+// which fall back to the predicate path).
+func (e *Engine) scopesFor(ids []lte.CarrierID) []learn.Scope {
+	scopes := make([]learn.Scope, len(e.models))
+	for pi, m := range e.models {
+		if ss, ok := m.(learn.SiteScoper); ok {
+			scopes[pi] = ss.ScopeFrom(ids)
+		}
+	}
+	return scopes
+}
+
+// recommendMany is the shared core of RecommendContext and RecommendBatch:
+// it plans every item's (parameter, neighbor) jobs, flattens them into one
+// worker-pool fan-out, and reassembles per-item results. Each job writes
+// its preallocated slot and the fitted models are read-only, so the output
+// is byte-identical to the serial walk at any worker count.
+func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchResult {
+	type itemState struct {
+		ctx      context.Context
+		sp       *trace.Span
+		start    time.Time
+		scopes   []learn.Scope
+		scope    func(dataset.Site) bool
+		scoped   bool
+		firstJob int
+		numJobs  int
+	}
 	type job struct {
+		item     int
 		pi       int
 		attrs    []string
+		codes    []int32
 		neighbor lte.CarrierID
 	}
-	var jobs []job
-	attrs := c.AttributeVector()
-	for _, pi := range e.schema.Singular() {
-		jobs = append(jobs, job{pi, attrs, -1})
+	singular, pair := e.schema.Singular(), e.schema.PairWise()
+	// One encoding representative per attribute base: when every model of
+	// a group shares its base, each attribute vector is dictionary-encoded
+	// once here instead of once per parameter model.
+	sRep := e.codesRep(singular)
+	var pRep learn.CodesModel
+	if len(pair) > 0 {
+		pRep = e.codesRep(pair)
 	}
-	for _, nb := range neighbors {
-		pairAttrs := lte.PairAttributeVector(c, &e.net.Carriers[nb])
-		for _, pi := range e.schema.PairWise() {
-			jobs = append(jobs, job{pi, pairAttrs, nb})
+	states := make([]itemState, len(items))
+	jobs := make([]job, 0, len(items)*e.schema.Len())
+	for ii := range items {
+		c := items[ii].Carrier
+		ictx, sp := trace.Start(ctx, "engine.recommend")
+		st := &states[ii]
+		st.ctx, st.sp, st.start = ictx, sp, time.Now()
+		if e.opts.Local {
+			ids := e.scopeIDsFor(c)
+			st.scoped = true
+			st.scopes = e.scopesFor(ids)
+			allowed := make(map[lte.CarrierID]bool, len(ids))
+			for _, id := range ids {
+				allowed[id] = true
+			}
+			st.scope = func(s dataset.Site) bool { return allowed[s.From] }
 		}
+		attrs := c.AttributeVector()
+		var sCodes []int32
+		if sRep != nil {
+			sCodes = sRep.EncodeRow(attrs)
+		}
+		st.firstJob = len(jobs)
+		for _, pi := range singular {
+			jobs = append(jobs, job{ii, pi, attrs, sCodes, -1})
+		}
+		for _, nb := range items[ii].Neighbors {
+			pairAttrs := lte.PairAttributeVector(c, &e.net.Carriers[nb])
+			var pCodes []int32
+			if pRep != nil {
+				pCodes = pRep.EncodeRow(pairAttrs)
+			}
+			for _, pi := range pair {
+				jobs = append(jobs, job{ii, pi, pairAttrs, pCodes, nb})
+			}
+		}
+		st.numJobs = len(jobs) - st.firstJob
+		sp.SetInt("carrier", int64(c.ID))
+		sp.SetInt("neighbors", int64(len(items[ii].Neighbors)))
+		sp.SetInt("jobs", int64(st.numJobs))
+		sp.SetBool("scoped", st.scoped)
 	}
-	sp.SetInt("carrier", int64(c.ID))
-	sp.SetInt("neighbors", int64(len(neighbors)))
-	sp.SetInt("jobs", int64(len(jobs)))
-	sp.SetBool("scoped", scope != nil)
 	out := make([]Recommendation, len(jobs))
-	err := pool.ForEachNCtx(ctx, e.opts.Workers, len(jobs), recommendParamSeconds, func(jctx context.Context, i int) error {
+	errs := make([]error, len(jobs))
+	poolErr := pool.ForEachNCtx(ctx, e.opts.Workers, len(jobs), recommendParamSeconds, func(jctx context.Context, i int) error {
 		j := jobs[i]
-		_, psp := trace.Start(jctx, "recommend.param")
+		st := &states[j.item]
+		_, psp := trace.Start(st.ctx, "recommend.param")
 		psp.SetStr("param", e.schema.At(j.pi).Name)
 		psp.SetInt("neighbor", int64(j.neighbor))
-		rec, err := e.recommendOne(j.pi, j.attrs, j.neighbor, scope)
+		var sc learn.Scope
+		if st.scoped && st.scopes != nil {
+			sc = st.scopes[j.pi]
+		}
+		rec, err := e.recommendOne(j.pi, j.attrs, j.codes, j.neighbor, sc, st.scope, st.scoped)
 		if err != nil {
 			psp.SetStr("error", err.Error())
 			psp.Finish()
-			return err
+			// Errors land in the job's own slot so one item cannot fail
+			// its batch siblings; the pool keeps draining.
+			errs[i] = err
+			return nil
 		}
 		psp.SetInt("relaxation_level", int64(rec.RelaxationLevel))
 		psp.SetInt("candidates", int64(rec.Candidates))
@@ -271,33 +386,71 @@ func (e *Engine) RecommendContext(ctx context.Context, c *lte.Carrier, neighbors
 		out[i] = rec
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Neighbor != out[j].Neighbor {
-			return out[i].Neighbor < out[j].Neighbor
+	results := make([]BatchResult, len(items))
+	for ii := range items {
+		st := &states[ii]
+		var err error
+		for i := st.firstJob; i < st.firstJob+st.numJobs; i++ {
+			if errs[i] != nil {
+				err = errs[i]
+				break
+			}
 		}
-		return out[i].ParamIndex < out[j].ParamIndex
-	})
-	return out, nil
+		if err == nil && poolErr != nil {
+			// Cancellation abandons the whole fan-out; no item can claim
+			// a complete answer.
+			err = poolErr
+		}
+		if err != nil {
+			results[ii].Err = err
+		} else {
+			recs := out[st.firstJob : st.firstJob+st.numJobs : st.firstJob+st.numJobs]
+			sort.SliceStable(recs, func(i, j int) bool {
+				if recs[i].Neighbor != recs[j].Neighbor {
+					return recs[i].Neighbor < recs[j].Neighbor
+				}
+				return recs[i].ParamIndex < recs[j].ParamIndex
+			})
+			results[ii].Recommendations = recs
+		}
+		st.sp.Finish()
+		// The exemplar joins the aggregate latency histogram to this
+		// concrete trace; unsampled requests pass an empty ID (no-op).
+		var exemplar string
+		if st.sp.Sampled() {
+			exemplar = st.sp.TraceID().String()
+		}
+		recommendSeconds.ObserveExemplar(time.Since(st.start).Seconds(), exemplar)
+	}
+	return results
 }
 
 // recommendOne predicts one parameter, applying geographic scoping when
-// configured and available.
-func (e *Engine) recommendOne(pi int, attrs []string, neighbor lte.CarrierID, scope func(dataset.Site) bool) (Recommendation, error) {
+// configured and available. The fastest applicable path wins: pre-encoded
+// query codes (learn.CodesModel), then a precomputed neighborhood scope
+// (learn.SiteScoper), then the per-row predicate, then plain Predict.
+func (e *Engine) recommendOne(pi int, attrs []string, codes []int32, neighbor lte.CarrierID, sc learn.Scope, scope func(dataset.Site) bool, scoped bool) (Recommendation, error) {
 	m := e.models[pi]
 	if m == nil {
 		return Recommendation{}, fmt.Errorf("core: no model for parameter %d", pi)
 	}
 	var p learn.Prediction
-	if scope != nil {
+	switch {
+	case scoped && sc != nil:
+		if codes != nil {
+			p = m.(learn.CodesModel).PredictCodes(codes, attrs, sc)
+		} else {
+			p = m.(learn.SiteScoper).PredictScope(attrs, sc)
+		}
+	case scoped:
 		sm, ok := m.(learn.ScopedModel)
 		if !ok {
 			return Recommendation{}, fmt.Errorf("core: learner %s cannot scope geographically", e.opts.Learner.Name())
 		}
 		p = sm.PredictScoped(attrs, scope)
-	} else {
+	case codes != nil:
+		p = m.(learn.CodesModel).PredictCodes(codes, attrs, nil)
+	default:
 		p = m.Predict(attrs)
 	}
 	spec := e.schema.At(pi)
@@ -329,19 +482,20 @@ func (e *Engine) recommendOne(pi int, attrs []string, neighbor lte.CarrierID, sc
 	return rec, nil
 }
 
-// scopeFor builds the allowed-site predicate for a new carrier: training
-// samples whose From carrier sits within Hops X2 hops of the carrier's
-// eNodeB.
-func (e *Engine) scopeFor(c *lte.Carrier) func(dataset.Site) bool {
+// scopeIDsFor lists the carriers whose training evidence a new carrier's
+// recommendations may vote with: those within Hops X2 hops of the
+// carrier's eNodeB, excluding the carrier itself.
+func (e *Engine) scopeIDsFor(c *lte.Carrier) []lte.CarrierID {
 	// Anchoring on the eNodeB (not the carrier id) also covers new
 	// carriers that are not yet in the X2 graph: their eNodeB is.
-	allowed := make(map[lte.CarrierID]bool)
-	for _, id := range e.x2.CarriersNearENodeB(e.net, c.ENodeB, e.opts.Hops) {
+	near := e.x2.CarriersNearENodeB(e.net, c.ENodeB, e.opts.Hops)
+	ids := make([]lte.CarrierID, 0, len(near))
+	for _, id := range near {
 		if id != c.ID {
-			allowed[id] = true
+			ids = append(ids, id)
 		}
 	}
-	return func(s dataset.Site) bool { return allowed[s.From] }
+	return ids
 }
 
 func parseLabel(spec paramspec.Param, label string) (float64, error) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 
 	"strings"
 	"testing"
@@ -272,5 +273,82 @@ func TestRecommendUnsampledMatchesSampled(t *testing.T) {
 		if plain[i].Value != traced[i].Value || plain[i].Explanation != traced[i].Explanation {
 			t.Errorf("recommendation %d differs under tracing: %+v vs %+v", i, plain[i], traced[i])
 		}
+	}
+}
+
+// TestRecommendBatchMatchesSingles pins the batch contract: every item of
+// a RecommendBatch call is byte-identical to a RecommendContext call for
+// the same carrier — values, explanations, and the full evidence
+// diagnostics — with and without geographic scoping.
+func TestRecommendBatchMatchesSingles(t *testing.T) {
+	for _, local := range []bool{false, true} {
+		name := "global"
+		if local {
+			name = "local"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, w := trainedEngine(t, Options{Local: local})
+			items := []BatchItem{
+				{Carrier: &w.Net.Carriers[2], Neighbors: w.X2.CarrierNeighbors(2)},
+				{Carrier: &w.Net.Carriers[7]},
+				{Carrier: &w.Net.Carriers[11], Neighbors: w.X2.CarrierNeighbors(11)},
+			}
+			batch, err := e.RecommendBatch(context.Background(), items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(items) {
+				t.Fatalf("got %d results for %d items", len(batch), len(items))
+			}
+			for i, it := range items {
+				single, err := e.RecommendContext(context.Background(), it.Carrier, it.Neighbors)
+				if err != nil {
+					t.Fatalf("item %d: single-call recommend: %v", i, err)
+				}
+				if batch[i].Err != nil {
+					t.Fatalf("item %d: batch error %v", i, batch[i].Err)
+				}
+				if !reflect.DeepEqual(batch[i].Recommendations, single) {
+					t.Errorf("item %d: batch differs from single call\nbatch:  %+v\nsingle: %+v",
+						i, batch[i].Recommendations, single)
+				}
+			}
+		})
+	}
+}
+
+// TestRecommendBatchErrorsPerItem pins item isolation: when every
+// prediction fails (an unscopeable learner under Local), the batch call
+// itself succeeds and each item reports its own error.
+func TestRecommendBatchErrorsPerItem(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 12})
+	e := New(w.Schema, Options{Local: true, Learner: knn.New(), MaxSamples: 200})
+	if err := e.Train(w.Net, w.X2, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Carrier: &w.Net.Carriers[0]},
+		{Carrier: &w.Net.Carriers[1]},
+	}
+	batch, err := e.RecommendBatch(context.Background(), items)
+	if err != nil {
+		t.Fatalf("batch call failed outright: %v", err)
+	}
+	for i, res := range batch {
+		if res.Err == nil || !strings.Contains(res.Err.Error(), "cannot scope") {
+			t.Errorf("item %d: err = %v, want scoping error", i, res.Err)
+		}
+		if res.Recommendations != nil {
+			t.Errorf("item %d: error result carries recommendations", i)
+		}
+	}
+}
+
+// TestRecommendBatchBeforeTrain pins the whole-call guard.
+func TestRecommendBatchBeforeTrain(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 13, Markets: 2, ENodeBsPerMarket: 12})
+	e := New(w.Schema, Options{})
+	if _, err := e.RecommendBatch(context.Background(), []BatchItem{{Carrier: &w.Net.Carriers[0]}}); err == nil {
+		t.Error("RecommendBatch before Train should fail")
 	}
 }

@@ -131,6 +131,14 @@ func (t *Table) Row(i int) []string {
 // Dict returns the dictionary of column c. Treat it as read-only.
 func (t *Table) Dict(c int) *Dict { return t.base.dicts[c] }
 
+// SharesBase reports whether t and o read their attribute columns from the
+// same interned columnar base — same dictionaries, same code space — so a
+// row encoded against one table decodes identically on the other. Tables
+// labeled by one Builder (and any Subset/Sample of them) share a base.
+func (t *Table) SharesBase(o *Table) bool {
+	return t.base != nil && o != nil && t.base == o.base
+}
+
 // ColumnCodes returns the codes of column c in table row order. Identity
 // views return the shared base slice without copying; derived views
 // (Subset, pair-wise labelings) gather a fresh slice. Either way the
@@ -145,6 +153,25 @@ func (t *Table) ColumnCodes(c int) []int32 {
 		out[j] = col[i]
 	}
 	return out
+}
+
+// ColumnCodesScratch returns the codes of column c in table row order,
+// using buf as gather space for derived views: identity views return the
+// shared base slice directly (buf is untouched), derived views gather into
+// buf, growing it as needed. Callers that process columns one at a time
+// can reuse one buffer across every column instead of paying ColumnCodes'
+// per-column allocation. Either way the result is read-only and valid only
+// until buf is reused.
+func (t *Table) ColumnCodesScratch(buf []int32, c int) []int32 {
+	col := t.base.codes[c]
+	if t.rowIdx == nil {
+		return col
+	}
+	buf = buf[:0]
+	for _, i := range t.rowIdx {
+		buf = append(buf, col[i])
+	}
+	return buf
 }
 
 // AppendRow interns one attribute row into a hand-assembled table (test

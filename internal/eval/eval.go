@@ -120,19 +120,34 @@ func CrossValidateLocal(t *dataset.Table, l learn.Learner, net *lte.Network, x2 
 	if !ok {
 		return res, nil
 	}
-	// Neighborhood sets are reused across folds and parameters; compute
-	// lazily per test carrier.
-	hoodCache := make(map[lte.CarrierID]map[lte.CarrierID]bool)
-	hood := func(c lte.CarrierID) map[lte.CarrierID]bool {
+	// Neighborhood id lists (self excluded) are reused across folds and
+	// parameters; compute lazily per test carrier.
+	hoodCache := make(map[lte.CarrierID][]lte.CarrierID)
+	hood := func(c lte.CarrierID) []lte.CarrierID {
 		if h, ok := hoodCache[c]; ok {
 			return h
 		}
-		h := make(map[lte.CarrierID]bool)
-		for _, id := range x2.CarriersWithinHops(net, c, opts.Hops) {
-			h[id] = true
+		near := x2.CarriersWithinHops(net, c, opts.Hops)
+		h := make([]lte.CarrierID, 0, len(near))
+		for _, id := range near {
+			if id != c {
+				h = append(h, id)
+			}
 		}
 		hoodCache[c] = h
 		return h
+	}
+	// Per-prediction scratch: learners consume the query row within the
+	// Predict call, so one row buffer (and one code buffer for models
+	// that accept the table's interned codes directly) serves every test
+	// row.
+	rowBuf := make([]string, t.NumCols())
+	codeBuf := make([]int32, t.NumCols())
+	row := func(i int) []string {
+		for c := range rowBuf {
+			rowBuf[c] = t.At(i, c)
+		}
+		return rowBuf
 	}
 	for f := range folds {
 		train, test := dataset.TrainTest(folds, f)
@@ -141,16 +156,45 @@ func CrossValidateLocal(t *dataset.Table, l learn.Learner, net *lte.Network, x2 
 			return res, err
 		}
 		sm, okScoped := m.(learn.ScopedModel)
+		ss, okScoper := m.(learn.SiteScoper)
+		// A fold model trained on a Subset of t shares t's columnar base,
+		// so the table's stored codes are already the model's encoding —
+		// no per-prediction string re-encode.
+		cm, okCodes := m.(learn.CodesModel)
+		okCodes = okCodes && cm.EncodesTable(t)
+		// Folds are grouped by carrier, so a carrier's pair-wise test rows
+		// arrive together and share one precomputed scope per fold model.
+		scopeCache := make(map[lte.CarrierID]learn.Scope)
 		for _, i := range test {
 			var p learn.Prediction
-			if okScoped {
-				h := hood(t.Sites[i].From)
+			switch {
+			case okScoper:
 				self := t.Sites[i].From
-				p = sm.PredictScoped(t.Row(i), func(s dataset.Site) bool {
-					return s.From != self && h[s.From]
+				sc, ok := scopeCache[self]
+				if !ok {
+					sc = ss.ScopeFrom(hood(self))
+					scopeCache[self] = sc
+				}
+				if okCodes {
+					for c := range codeBuf {
+						codeBuf[c] = t.Code(i, c)
+					}
+					p = cm.PredictCodes(codeBuf, row(i), sc)
+				} else {
+					p = ss.PredictScope(row(i), sc)
+				}
+			case okScoped:
+				self := t.Sites[i].From
+				h := hood(self)
+				in := make(map[lte.CarrierID]bool, len(h))
+				for _, id := range h {
+					in[id] = true
+				}
+				p = sm.PredictScoped(row(i), func(s dataset.Site) bool {
+					return s.From != self && in[s.From]
 				})
-			} else {
-				p = m.Predict(t.Row(i))
+			default:
+				p = m.Predict(row(i))
 			}
 			res.Total++
 			if p.Label == t.Labels[i] {

@@ -12,6 +12,7 @@ package geo
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"auric/internal/lte"
 )
@@ -44,10 +45,23 @@ func (o Options) withDefaults() Options {
 }
 
 // Graph is an X2 neighbor-relation graph over a network. Build one with
-// BuildX2; a built graph is immutable and safe for concurrent use.
+// BuildX2; a built graph is logically immutable and safe for concurrent use
+// (the neighborhood memo below is internally synchronized).
 type Graph struct {
 	enb     [][]lte.ENodeBID
 	carrier [][]lte.CarrierID
+
+	// hoods memoizes the sorted carrier list per (eNodeB, hops) BFS — the
+	// hot query of the local learner, issued once per (carrier, parameter)
+	// by serving and evaluation. The list depends only on the start eNodeB
+	// and radius, so per-carrier exclusion filters a cached copy.
+	hoodMu sync.RWMutex
+	hoods  map[hoodKey][]lte.CarrierID
+}
+
+type hoodKey struct {
+	enb  lte.ENodeBID
+	hops int
 }
 
 // BuildX2 derives the X2 graph of n from eNodeB positions. eNodeBs within
@@ -184,9 +198,33 @@ func (g *Graph) CarriersNearENodeB(n *lte.Network, enb lte.ENodeBID, hops int) [
 }
 
 func (g *Graph) carriersNear(n *lte.Network, start lte.ENodeBID, hops int, exclude lte.CarrierID) []lte.CarrierID {
+	all := g.hood(n, start, hops)
+	// Callers own the returned slice, so the memoized list is copied even
+	// when nothing is excluded.
+	out := make([]lte.CarrierID, 0, len(all))
+	for _, c := range all {
+		if c != exclude {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// hood returns the memoized sorted carrier list within hops of start,
+// running the BFS on the first query per key. Concurrent first queries may
+// compute the same list twice; both results are identical, so last-write
+// wins harmlessly.
+func (g *Graph) hood(n *lte.Network, start lte.ENodeBID, hops int) []lte.CarrierID {
+	k := hoodKey{start, hops}
+	g.hoodMu.RLock()
+	h, ok := g.hoods[k]
+	g.hoodMu.RUnlock()
+	if ok {
+		return h
+	}
 	visited := map[lte.ENodeBID]bool{start: true}
 	frontier := []lte.ENodeBID{start}
-	for h := 0; h < hops; h++ {
+	for hp := 0; hp < hops; hp++ {
 		var next []lte.ENodeBID
 		for _, e := range frontier {
 			for _, nb := range g.enb[e] {
@@ -200,12 +238,14 @@ func (g *Graph) carriersNear(n *lte.Network, start lte.ENodeBID, hops int, exclu
 	}
 	var out []lte.CarrierID
 	for e := range visited {
-		for _, c := range n.ENodeBs[e].Carriers {
-			if c != exclude {
-				out = append(out, c)
-			}
-		}
+		out = append(out, n.ENodeBs[e].Carriers...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.hoodMu.Lock()
+	if g.hoods == nil {
+		g.hoods = make(map[hoodKey][]lte.CarrierID, 64)
+	}
+	g.hoods[k] = out
+	g.hoodMu.Unlock()
 	return out
 }

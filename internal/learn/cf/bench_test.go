@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"auric/internal/dataset"
+	"auric/internal/lte"
 	"auric/internal/netsim"
 )
 
@@ -160,3 +161,41 @@ func BenchmarkCFPredictScoped(b *testing.B) {
 
 // benchRow adapts the benchmark to the table's row accessor.
 func benchRow(t *dataset.Table, i int) []string { return t.Row(i) }
+
+// BenchmarkPredictScopedPostings measures the precomputed-scope local
+// path: the X2 neighborhood is materialized once into a sorted row list
+// (learn.SiteScoper.ScopeFrom) and joins the posting-list intersection,
+// replacing the per-candidate site callback that BenchmarkCFPredictScoped
+// pays on every row. Same voting population, same predictions.
+func BenchmarkPredictScopedPostings(b *testing.B) {
+	for _, s := range benchScales {
+		b.Run(s.name, func(b *testing.B) {
+			skipLarge(b, s)
+			_, pair := benchTables(b, s)
+			fitted, err := New().Fit(pair)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := fitted.(*Model)
+			// The same population BenchmarkCFPredictScoped admits
+			// (site.From%2 == 0), precomputed as a scope.
+			seen := map[lte.CarrierID]bool{}
+			var ids []lte.CarrierID
+			for i := 0; i < pair.Len(); i++ {
+				if from := pair.Sites[i].From; from%2 == 0 && !seen[from] {
+					seen[from] = true
+					ids = append(ids, from)
+				}
+			}
+			sc := m.ScopeFrom(ids)
+			rows := make([][]string, 64)
+			for i := range rows {
+				rows[i] = benchRow(pair, i%pair.Len())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictScope(rows[i%len(rows)], sc)
+			}
+		})
+	}
+}

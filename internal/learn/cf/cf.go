@@ -10,11 +10,22 @@
 // arrays, exact matching on the full dependent set is a code-keyed index
 // lookup, and every relaxed level of the ladder intersects per-column
 // sorted posting lists (smallest list first) instead of scanning the
-// table. Matching, voting and confidences are exactly equivalent to the
-// string-matching formulation — a code comparison succeeds iff the string
-// comparison would — so predictions and explanations are byte-identical
-// to the naive implementation (the equivalence tests in this package pin
-// that down).
+// table. Geographic scoping rides the same machinery: a precomputed
+// neighborhood Scope (learn.SiteScoper) is one more sorted row list in the
+// intersection, so the local vote of Sec 3.3 never filters candidates
+// through a per-row callback. Matching, voting and confidences are exactly
+// equivalent to the string-matching formulation — a code comparison
+// succeeds iff the string comparison would — so predictions and
+// explanations are byte-identical to the naive implementation (the
+// equivalence tests in this package pin that down).
+//
+// Fit and Predict are allocation-lean: both draw their working storage
+// (count tables, gather buffers, key arenas, vote tallies) from
+// sync.Pool-backed scratch that is reused across the engine's 65-parameter
+// fan-out, and the exact-match index dedups its keys as substrings of one
+// durable string instead of allocating one key per row. Scratch never
+// escapes into fitted state, so models stay immutable and safe for any
+// number of concurrent readers.
 //
 // The paper leaves two situations unspecified, which this implementation
 // resolves as follows (every choice is visible in the prediction's
@@ -35,13 +46,15 @@
 package cf
 
 import (
-	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"auric/internal/dataset"
 	"auric/internal/learn"
+	"auric/internal/lte"
 	"auric/internal/obs"
 	"auric/internal/stats"
 )
@@ -118,12 +131,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// fitScratch is the arena-style working storage of one Fit call: one
+// resettable count table, one column gather buffer and the counting-sort
+// cursors and key arena the match structures are built through. Fits
+// running on the engine's worker pool draw scratch from fitScratchPool and
+// return it when done, so the 65-parameter train fan-out reuses a handful
+// of arenas instead of allocating per column. Nothing in a fitScratch may
+// be retained by the fitted Model.
+type fitScratch struct {
+	ct       stats.CountTable
+	colBuf   []int32 // gather space for derived-view columns
+	cnt      []int32 // per-code counters, then write cursors
+	off      []int32 // per-code offsets into the posting arena
+	keys     []byte  // row-major exact-match key arena
+	rowGroup []int32 // exact-index group id per row
+	groupN   []int32 // rows per exact-index group, then write cursors
+}
+
+var fitScratchPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
 // Fit implements learn.Learner: it runs the chi-square test of Eq. (3)
 // between every attribute column and the parameter values over dense
 // code-indexed count arrays, keeps the dependent columns ordered by
 // statistic (strongest first), and builds the two match structures — the
 // exact index over the full dependent-set key and one sorted posting list
-// per (dependent column, code) for the relaxation ladder.
+// per (dependent column, code) for the relaxation ladder. Working storage
+// comes from a pooled fitScratch and is reused across calls.
 func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	if t.Len() == 0 {
 		return nil, learn.ErrEmptyTable
@@ -131,6 +164,11 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	opts := l.Opts.withDefaults()
 	n := t.Len()
 	ncols := t.NumCols()
+	sc := fitScratchPool.Get().(*fitScratch)
+	defer fitScratchPool.Put(sc)
+	if cap(sc.colBuf) < n {
+		sc.colBuf = make([]int32, 0, n)
+	}
 
 	// Intern the label column of this table view; votes tally into dense
 	// arrays indexed by these codes.
@@ -145,26 +183,32 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 		labels[c] = labelDict.String(int32(c))
 	}
 
+	m := &Model{t: t, opts: opts, labels: labels, labelCodes: y}
+	m.valueShare = make([][]float64, ncols)
+	m.valuePin = make([][]float64, ncols)
+
 	type depCol struct {
 		col  int
 		stat float64 // Cramér's V: association strength normalized for
 		// table size, comparable across attribute cardinalities
 	}
 	var deps []depCol
-	colCodes := make([][]int32, ncols)
 	for c := 0; c < ncols; c++ {
-		codes := t.ColumnCodes(c)
-		colCodes[c] = codes
-		ct := stats.NewCountTable(t.Dict(c).Len(), numLabels)
+		codes := t.ColumnCodesScratch(sc.colBuf, c)
+		sc.ct.Reset(t.Dict(c).Len(), numLabels)
 		for i, code := range codes {
-			ct.Add(int(code), int(y[i]))
+			sc.ct.Add(int(code), int(y[i]))
 		}
-		stat, df := ct.ChiSquare()
+		stat, df := sc.ct.ChiSquare()
 		if df == 0 {
 			continue
 		}
 		if stat > stats.ChiSquareCritical(df, opts.Alpha) {
-			deps = append(deps, depCol{c, ct.CramersV(stat)})
+			deps = append(deps, depCol{c, sc.ct.CramersV(stat)})
+			// The count table already holds this column's value/label
+			// co-occurrences; derive the relaxation-ordering shares here
+			// instead of re-counting the column later.
+			m.fitValueShares(c, &sc.ct, n, numLabels)
 		}
 	}
 	// Strongest association first; relaxation drops from the tail. The
@@ -175,98 +219,172 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	// equal statistics in column order.
 	sort.SliceStable(deps, func(a, b int) bool { return deps[a].stat > deps[b].stat })
 
-	m := &Model{t: t, opts: opts, labels: labels, labelCodes: y}
 	for _, d := range deps {
 		m.deps = append(m.deps, d.col)
 		m.depStats = append(m.depStats, d.stat)
 	}
 
-	// Inverted index: per dependent column, code -> ascending row list.
-	// Lists are built in row order, so they are sorted by construction.
-	m.post = make([][][]int32, ncols)
-	for _, d := range m.deps {
-		p := make([][]int32, t.Dict(d).Len())
-		for i, code := range colCodes[d] {
-			p[code] = append(p[code], int32(i))
-		}
-		m.post[d] = p
-	}
+	m.buildPostings(sc, n)
 	m.all = make([]int32, n)
 	for i := range m.all {
 		m.all[i] = int32(i)
 	}
-
-	// Exact-match index over the canonical full dependent-set code key.
-	m.index = make(map[string][]int32, n/2)
-	var kb []byte
-	for i := 0; i < n; i++ {
-		kb = kb[:0]
-		for _, d := range m.deps {
-			kb = appendCode(kb, colCodes[d][i])
-		}
-		m.index[string(kb)] = append(m.index[string(kb)], int32(i))
-	}
+	m.buildIndex(sc, n)
 	m.globalLabel, m.globalShare = learn.MajorityLabel(t.Labels)
-	m.fitValueShares(colCodes, y, numLabels)
 	return m, nil
 }
 
-// fitValueShares records, for every dependent column, the population share
-// of each category code. Relaxation uses these to recognize rare attribute
-// values (FirstNet carriers, NB-IoT, border cells): a carrier holding a
-// rare value is configured by that value's own profile, so the attribute
-// must be among the last to be relaxed away — dropping it would let the
-// majority population outvote the rare one (the Sec 3.2 failure mode of
-// classic classifiers that Auric exists to avoid).
-func (m *Model) fitValueShares(colCodes [][]int32, y []int32, numLabels int) {
-	m.valueShare = make([][]float64, m.t.NumCols())
-	m.valuePin = make([][]float64, m.t.NumCols())
-	n := float64(m.t.Len())
-	for _, d := range m.deps {
-		card := m.t.Dict(d).Len()
-		counts := make([]int, card*numLabels)
-		totals := make([]int, card)
-		for i, code := range colCodes[d] {
-			counts[int(code)*numLabels+int(y[i])]++
-			totals[code]++
+// fitValueShares records, for one dependent column, the population share
+// of each category code and the top-label share among rows holding it,
+// read off the column's freshly counted table. Relaxation uses these to
+// recognize rare attribute values (FirstNet carriers, NB-IoT, border
+// cells): a carrier holding a rare value is configured by that value's own
+// profile, so the attribute must be among the last to be relaxed away —
+// dropping it would let the majority population outvote the rare one (the
+// Sec 3.2 failure mode of classic classifiers that Auric exists to avoid).
+func (m *Model) fitValueShares(d int, ct *stats.CountTable, n, numLabels int) {
+	totals := ct.RowTotals()
+	card := len(totals)
+	shares := make([]float64, card)
+	pins := make([]float64, card)
+	nf := float64(n)
+	for v := 0; v < card; v++ {
+		total := totals[v]
+		if total == 0 {
+			continue // dictionary code absent from this table view
 		}
-		shares := make([]float64, card)
-		pins := make([]float64, card)
-		for v := 0; v < card; v++ {
-			total := totals[v]
-			if total == 0 {
-				continue // dictionary code absent from this table view
+		shares[v] = total / nf
+		best := 0
+		for lb := 0; lb < numLabels; lb++ {
+			if c := ct.Count(v, lb); c > best {
+				best = c
 			}
-			shares[v] = float64(total) / n
-			best := 0
-			for lb := 0; lb < numLabels; lb++ {
-				if c := counts[v*numLabels+lb]; c > best {
-					best = c
-				}
-			}
-			pins[v] = float64(best) / float64(total)
 		}
-		m.valueShare[d] = shares
-		m.valuePin[d] = pins
+		pins[v] = float64(best) / total
 	}
+	m.valueShare[d] = shares
+	m.valuePin[d] = pins
+}
+
+// buildPostings assembles the inverted index — per dependent column, one
+// ascending row list per code — by counting sort into a single per-column
+// arena: two passes per column (count, fill) and exactly two allocations
+// of fitted state, instead of growing card-many lists by append.
+func (m *Model) buildPostings(sc *fitScratch, n int) {
+	t := m.t
+	m.post = make([][][]int32, t.NumCols())
+	for _, d := range m.deps {
+		codes := t.ColumnCodesScratch(sc.colBuf, d)
+		card := t.Dict(d).Len()
+		if cap(sc.cnt) < card {
+			sc.cnt = make([]int32, card)
+		}
+		if cap(sc.off) < card+1 {
+			sc.off = make([]int32, card+1)
+		}
+		cnt := sc.cnt[:card]
+		clear(cnt)
+		for _, code := range codes {
+			cnt[code]++
+		}
+		off := sc.off[:card+1]
+		off[0] = 0
+		for v := 0; v < card; v++ {
+			off[v+1] = off[v] + cnt[v]
+		}
+		arena := make([]int32, n)
+		copy(cnt, off[:card]) // cnt becomes the per-code write cursor
+		for i, code := range codes {
+			arena[cnt[code]] = int32(i)
+			cnt[code]++
+		}
+		p := make([][]int32, card)
+		for v := 0; v < card; v++ {
+			if off[v] == off[v+1] {
+				continue // code absent from this view: nil list
+			}
+			p[v] = arena[off[v]:off[v+1]:off[v+1]]
+		}
+		m.post[d] = p
+	}
+}
+
+// buildIndex assembles the exact-match index over the canonical full
+// dependent-set code key. Every row's fixed-width key is laid out in one
+// arena and converted to a single durable string; the dedup map keys are
+// substrings of it, so the whole index costs one string allocation plus
+// the map — not one key string per row.
+func (m *Model) buildIndex(sc *fitScratch, n int) {
+	t := m.t
+	stride := 4 * len(m.deps)
+	if cap(sc.keys) < n*stride {
+		sc.keys = make([]byte, n*stride)
+	}
+	keys := sc.keys[:n*stride]
+	for j, d := range m.deps {
+		codes := t.ColumnCodesScratch(sc.colBuf, d)
+		o := 4 * j
+		for i, c := range codes {
+			b := keys[i*stride+o : i*stride+o+4]
+			b[0], b[1], b[2], b[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+		}
+	}
+	s := string(keys)
+	m.index = make(map[string]int32, n)
+	if cap(sc.rowGroup) < n {
+		sc.rowGroup = make([]int32, n)
+	}
+	rowGroup := sc.rowGroup[:n]
+	groupN := sc.groupN[:0]
+	for i := 0; i < n; i++ {
+		k := s[i*stride : (i+1)*stride]
+		g, ok := m.index[k]
+		if !ok {
+			g = int32(len(groupN))
+			m.index[k] = g
+			groupN = append(groupN, 0)
+		}
+		rowGroup[i] = g
+		groupN[g]++
+	}
+	groups := len(groupN)
+	m.idxOff = make([]int32, groups+1)
+	for g := 0; g < groups; g++ {
+		m.idxOff[g+1] = m.idxOff[g] + groupN[g]
+	}
+	m.idxRows = make([]int32, n)
+	copy(groupN, m.idxOff[:groups]) // groupN becomes the write cursor
+	for i := 0; i < n; i++ {
+		g := rowGroup[i]
+		m.idxRows[groupN[g]] = int32(i)
+		groupN[g]++
+	}
+	sc.groupN = groupN[:0]
 }
 
 // rareValueShare is the population share below which an observed attribute
 // value counts as rare for relaxation ordering.
 const rareValueShare = 0.15
 
+// scoredDep is one dependent column scored for query-time relaxation.
+type scoredDep struct {
+	col  int
+	rare bool
+	v    float64
+}
+
 // queryDeps orders the dependent columns for one query row for relaxation:
 // columns whose observed value is rare are retained longest, and within
 // each group columns rank by association strength (Cramér's V). The
 // ladder drops from the tail, so the weakest common-valued attribute goes
-// first and the strongest rare-valued one goes last.
-func (m *Model) queryDeps(codes []int32) []int {
-	type scored struct {
-		col  int
-		rare bool
-		v    float64
+// first and the strongest rare-valued one goes last. The returned slice is
+// scratch owned by sc.
+func (m *Model) queryDeps(sc *predictScratch, codes []int32) []int {
+	if cap(sc.scored) < len(m.deps) {
+		sc.scored = make([]scoredDep, len(m.deps))
+		sc.qdeps = make([]int, len(m.deps))
 	}
-	out := make([]scored, len(m.deps))
+	out := sc.scored[:len(m.deps)]
 	for i, d := range m.deps {
 		var share, pin float64
 		if c := codes[d]; c >= 0 && int(c) < len(m.valueShare[d]) {
@@ -278,19 +396,31 @@ func (m *Model) queryDeps(codes []int32) []int {
 		// carriers (FirstNet, NB-IoT) with their own settings. share > 0
 		// means the value was actually observed in the training table.
 		profile := share > 0 && share < rareValueShare && pin >= m.opts.Support
-		out[i] = scored{col: d, rare: profile, v: m.depStats[i]}
+		out[i] = scoredDep{col: d, rare: profile, v: m.depStats[i]}
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].rare != out[b].rare {
-			return out[a].rare
+	// Stable insertion sort (rare first, then association strength): the
+	// dependent sets are small and this runs per prediction, so the
+	// reflection cost of sort.SliceStable is worth dodging. Adjacent-swap
+	// insertion with a strict less is stable, so the order is identical.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && scoredLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[a].v > out[b].v
-	})
-	deps := make([]int, len(out))
+	}
+	deps := sc.qdeps[:len(out)]
 	for i, s := range out {
 		deps[i] = s.col
 	}
 	return deps
+}
+
+// scoredLess orders query-time relaxation: rare "profile" values first
+// (retained longest), then by association strength descending.
+func scoredLess(a, b scoredDep) bool {
+	if a.rare != b.rare {
+		return a.rare
+	}
+	return a.v > b.v
 }
 
 // appendCode serializes one column code into a match-index key.
@@ -299,12 +429,13 @@ func appendCode(b []byte, c int32) []byte {
 }
 
 // Model is a fitted collaborative-filtering model. After Fit returns, a
-// Model is immutable: Predict, PredictScoped and PredictWeighted only read
-// the fitted state (the training table, the dependency ordering, the match
-// index, the posting lists and the value-share tables) and allocate their
-// working storage per call, so one Model is safe for concurrent use by any
-// number of goroutines — the engine's recommendation fan-out relies on
-// this.
+// Model is immutable: Predict, PredictScoped, PredictScope and
+// PredictWeighted only read the fitted state (the training table, the
+// dependency ordering, the match index, the posting lists and the
+// value-share tables) and draw their working storage from a shared
+// sync.Pool, so one Model is safe for concurrent use by any number of
+// goroutines — the engine's recommendation fan-out relies on this. The
+// per-site row lists behind ScopeFrom are built lazily exactly once.
 type Model struct {
 	t        *dataset.Table
 	opts     Options
@@ -314,12 +445,15 @@ type Model struct {
 	labels     []string // label string per label code, first-seen order
 	labelCodes []int32  // label code per training row
 
-	// index maps the canonical full dependent-set code key to the rows
-	// holding it — the drop-0 fast path.
-	index map[string][]int32
+	// index maps the canonical full dependent-set code key to a group id;
+	// idxRows[idxOff[g]:idxOff[g+1]] lists the group's rows ascending —
+	// the drop-0 fast path. Keys are substrings of one shared string.
+	index   map[string]int32
+	idxOff  []int32
+	idxRows []int32
 	// post[c][code] lists the rows whose column c holds code, ascending;
-	// populated for dependent columns only. Relaxed ladder levels
-	// intersect these lists smallest-first.
+	// populated for dependent columns only, sub-sliced from one arena per
+	// column. Relaxed ladder levels intersect these lists smallest-first.
 	post [][][]int32
 	// all is the ascending list of every row: the posting list of the
 	// empty dependent set.
@@ -331,8 +465,41 @@ type Model struct {
 	valueShare [][]float64
 	valuePin   [][]float64
 
+	// siteRows maps a From carrier to its ascending training-row list,
+	// built lazily on the first ScopeFrom call (sync.Once keeps the model
+	// logically immutable for concurrent readers).
+	siteOnce sync.Once
+	siteRows map[lte.CarrierID][]int32
+
 	globalLabel string
 	globalShare float64
+}
+
+// predictScratch is the pooled working storage of one prediction: the
+// query encoding, relaxation ordering, exact-match key, intersection
+// buffers and vote tallies. The serving path's per-worker reuse comes from
+// predictScratchPool; nothing in a predictScratch survives the call.
+type predictScratch struct {
+	codes  []int32
+	scored []scoredDep
+	qdeps  []int
+	kb     []byte
+	inter  []int32
+	lists  [][]int32
+	counts []int
+	tally  []float64
+	scope  []int32
+}
+
+var predictScratchPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// putPredictScratch returns scratch to the pool, dropping references into
+// model posting arenas so pooled scratch never pins a retired model.
+func putPredictScratch(sc *predictScratch) {
+	for i := range sc.lists {
+		sc.lists[i] = nil
+	}
+	predictScratchPool.Put(sc)
 }
 
 // DependentColumns returns the dependent attribute column indices,
@@ -365,9 +532,14 @@ func (m *Model) DependentValues(row []string) []string {
 
 // encode translates a query row into dictionary codes for the dependent
 // columns (-1 for values never seen in training, which match no rows —
-// exactly like a failed string comparison).
-func (m *Model) encode(row []string) []int32 {
-	codes := make([]int32, m.t.NumCols())
+// exactly like a failed string comparison). The result is scratch owned by
+// sc.
+func (m *Model) encode(sc *predictScratch, row []string) []int32 {
+	nc := m.t.NumCols()
+	if cap(sc.codes) < nc {
+		sc.codes = make([]int32, nc)
+	}
+	codes := sc.codes[:nc]
 	for i := range codes {
 		codes[i] = -1
 	}
@@ -377,9 +549,109 @@ func (m *Model) encode(row []string) []int32 {
 	return codes
 }
 
+// EncodesTable implements learn.CodesModel: a table sharing the model's
+// interned base stores exactly the codes EncodeRow would produce, so its
+// rows can be predicted without a string round-trip.
+func (m *Model) EncodesTable(t *dataset.Table) bool { return t != nil && t.SharesBase(m.t) }
+
+// EncodeRow implements learn.CodesModel: the full per-column encoding of a
+// query row against the model's base dictionaries (-1 for unseen values).
+// Any model fitted over the same columnar base accepts the result via
+// PredictCodes, which is how the engine's batch path encodes each
+// attribute string once per batch instead of once per parameter.
+func (m *Model) EncodeRow(row []string) []int32 {
+	codes := make([]int32, m.t.NumCols())
+	for c := range codes {
+		codes[c] = m.t.Dict(c).Code(row[c])
+	}
+	return codes
+}
+
+// SharesEncoding implements learn.CodesModel: true when o was fitted over
+// the same columnar base, making EncodeRow output interchangeable.
+func (m *Model) SharesEncoding(o learn.Model) bool {
+	om, ok := o.(*Model)
+	return ok && m.t.SharesBase(om.t)
+}
+
+// PredictCodes implements learn.CodesModel. codes must come from EncodeRow
+// of a model sharing this model's encoding; sc may be nil or a Scope from
+// this model's ScopeFrom. Predictions are byte-identical to Predict /
+// PredictScope on the same row.
+func (m *Model) PredictCodes(codes []int32, row []string, sc learn.Scope) learn.Prediction {
+	rows, scoped := m.scopeRows(sc)
+	ps := predictScratchPool.Get().(*predictScratch)
+	defer putPredictScratch(ps)
+	return m.predict(ps, row, codes, rows, scoped, nil)
+}
+
+// Scope is the precomputed voting-population restriction of
+// learn.SiteScoper: the ascending training-row list of an allowed site
+// set, bound to the model that built it.
+type Scope struct {
+	m    *Model
+	rows []int32
+}
+
+// NumRows implements learn.Scope.
+func (s *Scope) NumRows() int { return len(s.rows) }
+
+// buildSiteRows groups the training rows by From carrier; rows are
+// appended in ascending order, so every per-site list is sorted.
+func (m *Model) buildSiteRows() {
+	rows := make(map[lte.CarrierID][]int32, 64)
+	for i, s := range m.t.Sites {
+		rows[s.From] = append(rows[s.From], int32(i))
+	}
+	m.siteRows = rows
+}
+
+// ScopeFrom implements learn.SiteScoper: the union of the per-site row
+// lists of ids, sorted ascending and deduplicated — exactly the rows a
+// PredictScoped predicate testing From membership in ids would admit.
+func (m *Model) ScopeFrom(ids []lte.CarrierID) learn.Scope {
+	m.siteOnce.Do(m.buildSiteRows)
+	total := 0
+	for _, id := range ids {
+		total += len(m.siteRows[id])
+	}
+	rows := make([]int32, 0, total)
+	for _, id := range ids {
+		rows = append(rows, m.siteRows[id]...)
+	}
+	slices.Sort(rows)
+	rows = slices.Compact(rows) // duplicate ids would double their rows
+	return &Scope{m: m, rows: rows}
+}
+
+// scopeRows unwraps a learn.Scope into its row list, panicking on a scope
+// built by a different model — silently using foreign row numbers would
+// vote with the wrong carriers.
+func (m *Model) scopeRows(sc learn.Scope) (rows []int32, scoped bool) {
+	if sc == nil {
+		return nil, false
+	}
+	s, ok := sc.(*Scope)
+	if !ok || s.m != m {
+		panic("cf: PredictScope with a scope built by a different model")
+	}
+	return s.rows, true
+}
+
+// PredictScope implements learn.SiteScoper: a scoped prediction over a
+// precomputed Scope, byte-identical to PredictScoped with the equivalent
+// predicate but with the neighborhood intersected as a sorted row list.
+func (m *Model) PredictScope(row []string, sc learn.Scope) learn.Prediction {
+	rows, scoped := m.scopeRows(sc)
+	ps := predictScratchPool.Get().(*predictScratch)
+	defer putPredictScratch(ps)
+	codes := m.encode(ps, row)
+	return m.predict(ps, row, codes, rows, scoped, nil)
+}
+
 // Predict implements learn.Model.
 func (m *Model) Predict(row []string) learn.Prediction {
-	return m.PredictScoped(row, nil)
+	return m.PredictWeighted(row, nil, nil)
 }
 
 // PredictScoped implements learn.ScopedModel: the voting population is
@@ -391,6 +663,10 @@ func (m *Model) Predict(row []string) learn.Prediction {
 // locality sharpens the global answer where nearby matching carriers
 // exist, and never substitutes a vaguer local pool for more specific
 // global evidence.
+//
+// The predicate is evaluated once per training row to materialize the
+// scope; callers that know the allowed From carriers up front should use
+// ScopeFrom + PredictScope, which skips the scan entirely.
 func (m *Model) PredictScoped(row []string, allowed func(dataset.Site) bool) learn.Prediction {
 	return m.PredictWeighted(row, allowed, nil)
 }
@@ -401,17 +677,42 @@ func (m *Model) PredictScoped(row []string, allowed func(dataset.Site) bool) lea
 // performance in the past"). Weights <= 0 exclude a site; a nil weight
 // counts every site equally.
 func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) learn.Prediction {
-	codes := m.encode(row)
-	qdeps := m.queryDeps(codes)
-	globalP, globalLevel, globalDecisive := m.ladder(row, codes, qdeps, nil, weight)
-	if allowed != nil {
-		localP, localLevel, localDecisive := m.ladder(row, codes, qdeps, allowed, weight)
+	ps := predictScratchPool.Get().(*predictScratch)
+	defer putPredictScratch(ps)
+	codes := m.encode(ps, row)
+	var scopeRows []int32
+	scoped := allowed != nil
+	if scoped {
+		// Materialize the predicate once as a sorted row list; the ladder
+		// then intersects it instead of re-filtering per level.
+		if cap(ps.scope) < m.t.Len() {
+			ps.scope = make([]int32, 0, m.t.Len())
+		}
+		rows := ps.scope[:0]
+		for i, s := range m.t.Sites {
+			if allowed(s) {
+				rows = append(rows, int32(i))
+			}
+		}
+		ps.scope = rows
+		scopeRows = rows
+	}
+	return m.predict(ps, row, codes, scopeRows, scoped, weight)
+}
+
+// predict is the shared prediction core: the global relaxation ladder,
+// optionally sharpened by the scoped ladder per the Sec 3.3 rule.
+func (m *Model) predict(ps *predictScratch, row []string, codes []int32, scopeRows []int32, scoped bool, weight func(dataset.Site) float64) learn.Prediction {
+	qdeps := m.queryDeps(ps, codes)
+	globalP, globalLevel, globalDecisive := m.ladder(ps, codes, qdeps, nil, false, weight)
+	if scoped {
+		localP, localLevel, localDecisive := m.ladder(ps, codes, qdeps, scopeRows, true, weight)
 		if localDecisive && (!globalDecisive || localLevel <= globalLevel) {
-			return m.finish(localP, qdeps)
+			return m.finish(localP, row, qdeps)
 		}
 	}
 	if globalP.Label != "" {
-		return m.finish(globalP, qdeps)
+		return m.finish(globalP, row, qdeps)
 	}
 	// Empty training table population for every dependency subset (not
 	// reachable with a non-empty table, kept as a safe default).
@@ -420,14 +721,25 @@ func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, w
 		Confidence:  m.globalShare * 0.25,
 		Explanation: "no matching carriers; falling back to the global majority value",
 		Diag:        learn.Diag{Level: -1},
-	}, qdeps)
+	}, row, qdeps)
 }
 
-// finish completes a prediction's diagnostics — naming the relaxed-away
+// finish completes the one prediction that actually leaves the model:
+// it renders the explanation (deferred out of vote so discarded ladder
+// levels never pay for string formatting), names the relaxed-away
 // dependent attributes (weakest first, the order the ladder dropped them)
-// and counting the settled relaxation level — before it leaves the model.
-func (m *Model) finish(p learn.Prediction, qdeps []int) learn.Prediction {
+// and counts the settled relaxation level.
+func (m *Model) finish(p learn.Prediction, row []string, qdeps []int) learn.Prediction {
 	lvl := p.Diag.Level
+	if lvl >= 0 {
+		// Reconstruct the winning vote's inputs from its diagnostics; the
+		// result is byte-identical to rendering inside the vote.
+		deps := qdeps[:len(qdeps)-lvl]
+		p.Explanation = m.explain(row, deps, p.Label, p.Diag.VoteShare, p.Diag.Candidates, lvl)
+		if p.Diag.Scoped {
+			p.Explanation = "within the X2 neighborhood: " + p.Explanation
+		}
+	}
 	if lvl > 0 && lvl <= len(qdeps) {
 		dropped := qdeps[len(qdeps)-lvl:]
 		names := make([]string, lvl)
@@ -455,14 +767,14 @@ func (m *Model) finish(p learn.Prediction, qdeps []int) learn.Prediction {
 // (per the query's observed values, qdeps order) per level until a
 // decisive pool appears. It returns the first decisive vote and its level,
 // or (when no level is decisive) the most specific thin vote.
-func (m *Model) ladder(row []string, codes []int32, qdeps []int, allowed func(dataset.Site) bool, weight func(dataset.Site) float64) (learn.Prediction, int, bool) {
+func (m *Model) ladder(ps *predictScratch, codes []int32, qdeps []int, scopeRows []int32, scoped bool, weight func(dataset.Site) float64) (learn.Prediction, int, bool) {
 	var (
 		fallback      learn.Prediction
 		fallbackLevel = -1
 	)
 	for drop := 0; drop <= len(qdeps); drop++ {
 		deps := qdeps[:len(qdeps)-drop]
-		p, decisive := m.vote(row, codes, deps, drop == 0, allowed, weight, drop)
+		p, decisive := m.vote(ps, codes, deps, drop == 0, scopeRows, scoped, weight, drop)
 		if p.Label == "" {
 			continue // no matches at this relaxation level
 		}
@@ -480,17 +792,17 @@ func (m *Model) ladder(row []string, codes []int32, qdeps []int, allowed func(da
 // whether the pool is decisive: big enough (MinMatches), or small but
 // agreeing at the support threshold with at least two carriers — the
 // rare-combination case of Sec 3.2 (few carriers, one distinctive value).
-func (m *Model) vote(row []string, codes []int32, deps []int, full bool, allowed func(dataset.Site) bool, weight func(dataset.Site) float64, drop int) (learn.Prediction, bool) {
-	matches := m.matches(codes, deps, full, allowed)
+func (m *Model) vote(ps *predictScratch, codes []int32, deps []int, full bool, scopeRows []int32, scoped bool, weight func(dataset.Site) float64, drop int) (learn.Prediction, bool) {
+	matches := m.matches(ps, codes, deps, full, scopeRows, scoped)
 	if len(matches) == 0 {
 		return learn.Prediction{}, false
 	}
 	var label string
 	var share float64
 	if weight == nil {
-		label, share = m.majorityOf(matches)
+		label, share = m.majorityOf(ps, matches)
 	} else {
-		label, share = m.weightedMajority(matches, weight)
+		label, share = m.weightedMajority(ps, matches, weight)
 		if label == "" {
 			return learn.Prediction{}, false // every match weighted out
 		}
@@ -501,23 +813,22 @@ func (m *Model) vote(row []string, codes []int32, deps []int, full bool, allowed
 	if len(matches) == 1 {
 		conf *= 0.5
 	}
+	// The explanation is NOT rendered here: most votes are discarded by
+	// the ladder, so finish() formats only the winning one, reconstructing
+	// it from the Diag fields below.
 	p := learn.Prediction{
-		Label:       label,
-		Confidence:  conf,
-		Explanation: m.explain(row, deps, label, share, len(matches), drop),
+		Label:      label,
+		Confidence: conf,
 		Diag: learn.Diag{
 			Level:      drop,
 			Candidates: len(matches),
 			VoteShare:  share,
 			ExactIndex: full,
-			Scoped:     allowed != nil,
+			Scoped:     scoped,
 		},
 	}
 	if !full && len(deps) > 0 {
 		p.Diag.PostingLists = len(deps)
-	}
-	if allowed != nil && p.Explanation != "" {
-		p.Explanation = "within the X2 neighborhood: " + p.Explanation
 	}
 	decisive := len(matches) >= m.opts.MinMatches ||
 		(len(matches) >= 2 && share >= m.opts.Support) ||
@@ -539,8 +850,12 @@ func (m *Model) Supported(row []string) (learn.Prediction, bool) {
 // majorityOf tallies match labels into a dense per-code count array and
 // returns the most frequent label and its share. Ties break to the
 // lexicographically smallest label, matching learn.MajorityLabel.
-func (m *Model) majorityOf(matches []int32) (string, float64) {
-	counts := make([]int, len(m.labels))
+func (m *Model) majorityOf(ps *predictScratch, matches []int32) (string, float64) {
+	if cap(ps.counts) < len(m.labels) {
+		ps.counts = make([]int, len(m.labels))
+	}
+	counts := ps.counts[:len(m.labels)]
+	clear(counts)
 	for _, idx := range matches {
 		counts[m.labelCodes[idx]]++
 	}
@@ -559,8 +874,12 @@ func (m *Model) majorityOf(matches []int32) (string, float64) {
 // weightedMajority tallies match labels with per-site weights and returns
 // the heaviest label and its weight share. Ties break to the
 // lexicographically smallest label, matching learn.MajorityLabel.
-func (m *Model) weightedMajority(matches []int32, weight func(dataset.Site) float64) (string, float64) {
-	tally := make([]float64, len(m.labels))
+func (m *Model) weightedMajority(ps *predictScratch, matches []int32, weight func(dataset.Site) float64) (string, float64) {
+	if cap(ps.tally) < len(m.labels) {
+		ps.tally = make([]float64, len(m.labels))
+	}
+	tally := ps.tally[:len(m.labels)]
+	clear(tally)
 	total := 0.0
 	for _, idx := range matches {
 		w := weight(m.t.Sites[idx])
@@ -588,43 +907,51 @@ func (m *Model) weightedMajority(matches []int32, weight func(dataset.Site) floa
 // matches returns the training rows matching the query codes on deps, in
 // ascending row order. The full dependent set resolves through the exact
 // code-key index; relaxed sets intersect the per-column posting lists
-// smallest-first; the empty set is every row. allowed, when non-nil,
-// filters by site.
-func (m *Model) matches(codes []int32, deps []int, full bool, allowed func(dataset.Site) bool) []int32 {
-	var cands []int32
+// smallest-first; the empty set is every row. A scope, when present, is
+// one more sorted list in the intersection — never a per-row callback.
+func (m *Model) matches(ps *predictScratch, codes []int32, deps []int, full bool, scopeRows []int32, scoped bool) []int32 {
 	switch {
 	case full:
 		// The full dependent set is order-insensitive; the index is keyed
 		// on the canonical m.deps order. Unseen codes (-1) serialize to a
 		// key no training row produced, so they miss — exactly like a
 		// failed string comparison on every row.
-		kb := make([]byte, 0, 4*len(m.deps))
+		kb := ps.kb[:0]
 		for _, d := range m.deps {
 			kb = appendCode(kb, codes[d])
 		}
-		cands = m.index[string(kb)]
-	case len(deps) == 0:
-		cands = m.all
-	default:
-		cands = m.intersect(codes, deps)
-	}
-	if allowed == nil {
-		return cands
-	}
-	out := cands[:0:0]
-	for _, i := range cands {
-		if allowed(m.t.Sites[i]) {
-			out = append(out, i)
+		ps.kb = kb
+		var cands []int32
+		if g, ok := m.index[string(kb)]; ok {
+			cands = m.idxRows[m.idxOff[g]:m.idxOff[g+1]]
 		}
+		if !scoped || len(cands) == 0 {
+			return cands
+		}
+		a, b := cands, scopeRows
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		out := intersectSorted(ps.inter[:0], a, b)
+		ps.inter = out[:0]
+		return out
+	case len(deps) == 0:
+		if scoped {
+			return scopeRows
+		}
+		return m.all
+	default:
+		return m.intersect(ps, codes, deps, scopeRows, scoped)
 	}
-	return out
 }
 
 // intersect computes the ascending intersection of the posting lists for
-// the query's codes on deps, starting from the smallest list. Any unseen
-// or empty posting short-circuits to no matches.
-func (m *Model) intersect(codes []int32, deps []int) []int32 {
-	lists := make([][]int32, 0, len(deps))
+// the query's codes on deps — plus the scope's row list when present —
+// starting from the smallest list. Any unseen or empty posting
+// short-circuits to no matches.
+func (m *Model) intersect(ps *predictScratch, codes []int32, deps []int, scopeRows []int32, scoped bool) []int32 {
+	lists := ps.lists[:0]
+	defer func() { ps.lists = lists }()
 	for _, d := range deps {
 		code := codes[d]
 		p := m.post[d]
@@ -637,20 +964,37 @@ func (m *Model) intersect(codes []int32, deps []int) []int32 {
 		}
 		lists = append(lists, l)
 	}
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	if scoped {
+		if len(scopeRows) == 0 {
+			return nil
+		}
+		lists = append(lists, scopeRows)
+	}
+	// Insertion sort by length (smallest first): list counts are tiny and
+	// this runs per ladder level, so reflection-based sort.Slice costs more
+	// than the sort itself. Intersection is order-insensitive, so any
+	// ascending-by-length order yields the identical result.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
 	cur := lists[0]
 	for i, next := range lists[1:] {
 		var dst []int32
 		if i == 0 {
-			// First round writes a fresh buffer: cur is a shared posting
-			// list and must not be overwritten.
-			dst = make([]int32, 0, len(cur))
+			// First round writes the pooled buffer: cur is a shared
+			// posting list (or the scope) and must not be overwritten.
+			dst = ps.inter[:0]
 		} else {
 			// Later rounds compact in place: the write index never passes
 			// the read index of cur.
 			dst = cur[:0]
 		}
 		cur = intersectSorted(dst, cur, next)
+		if i == 0 {
+			ps.inter = cur[:0] // keep any growth for the next prediction
+		}
 		if len(cur) == 0 {
 			return nil
 		}
@@ -699,29 +1043,48 @@ func intersectSorted(dst, a, b []int32) []int32 {
 	return dst
 }
 
+// explain renders the winning vote's account. It is hand-formatted with
+// strconv appends because it runs once per prediction on the serving hot
+// path; the output is byte-identical to the fmt.Fprintf formulation (Go's
+// %.0f and %d are exactly strconv's 'f'/base-10 renderings), which the
+// equivalence tests pin against the fmt-based reference model.
 func (m *Model) explain(row []string, deps []int, label string, share float64, n, drop int) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%.0f%% of %d carriers matching on ", share*100, n)
+	sb.Grow(96)
+	var num [24]byte
+	sb.Write(strconv.AppendFloat(num[:0], share*100, 'f', 0, 64))
+	sb.WriteString("% of ")
+	sb.Write(strconv.AppendInt(num[:0], int64(n), 10))
+	sb.WriteString(" carriers matching on ")
 	if len(deps) == 0 {
 		sb.WriteString("(no dependent attributes)")
 	}
 	const maxShown = 4 // strongest associations first; elide the tail
 	for i, d := range deps {
 		if i == maxShown {
-			fmt.Fprintf(&sb, " ∧ … (+%d more)", len(deps)-maxShown)
+			sb.WriteString(" ∧ … (+")
+			sb.Write(strconv.AppendInt(num[:0], int64(len(deps)-maxShown), 10))
+			sb.WriteString(" more)")
 			break
 		}
 		if i > 0 {
 			sb.WriteString(" ∧ ")
 		}
-		fmt.Fprintf(&sb, "%s=%s", m.t.ColNames[d], row[d])
+		sb.WriteString(m.t.ColNames[d])
+		sb.WriteByte('=')
+		sb.WriteString(row[d])
 	}
-	fmt.Fprintf(&sb, " hold %s", label)
+	sb.WriteString(" hold ")
+	sb.WriteString(label)
 	if drop > 0 {
-		fmt.Fprintf(&sb, " (after relaxing %d weakest dependent attribute(s))", drop)
+		sb.WriteString(" (after relaxing ")
+		sb.Write(strconv.AppendInt(num[:0], int64(drop), 10))
+		sb.WriteString(" weakest dependent attribute(s))")
 	}
 	if share < m.opts.Support {
-		fmt.Fprintf(&sb, " — below the %.0f%% support threshold", m.opts.Support*100)
+		sb.WriteString(" — below the ")
+		sb.Write(strconv.AppendFloat(num[:0], m.opts.Support*100, 'f', 0, 64))
+		sb.WriteString("% support threshold")
 	}
 	return sb.String()
 }

@@ -376,14 +376,28 @@ func TestMatchesEquivalentToLinearScan(t *testing.T) {
 			}
 			m := fitted.(*Model)
 			scope := func(s dataset.Site) bool { return s.From%3 != 0 }
+			// Materialize the predicate as the sorted row list the scoped
+			// matches path intersects instead of filtering through.
+			var scopeRows []int32
+			for i, s := range tb.Sites {
+				if scope(s) {
+					scopeRows = append(scopeRows, int32(i))
+				}
+			}
+			ps := predictScratchPool.Get().(*predictScratch)
+			defer putPredictScratch(ps)
 			for q := 0; q < 40; q++ {
 				row := randomQuery(r, tb)
-				codes := m.encode(row)
-				qdeps := m.queryDeps(codes)
+				codes := m.encode(ps, row)
+				qdeps := append([]int(nil), m.queryDeps(ps, codes)...)
 				for drop := 0; drop <= len(qdeps); drop++ {
 					deps := qdeps[:len(qdeps)-drop]
 					for _, allowed := range []func(dataset.Site) bool{nil, scope} {
-						got := m.matches(codes, deps, drop == 0, allowed)
+						rows := scopeRows
+						if allowed == nil {
+							rows = nil
+						}
+						got := m.matches(ps, codes, deps, drop == 0, rows, allowed != nil)
 						want := naiveMatches(tb, row, deps, allowed)
 						if !equalInt32(got, want) {
 							t.Errorf("table %d query %v drop %d (scoped=%v): matches %v, scan %v",
@@ -492,4 +506,209 @@ func TestPredictionsMatchReference(t *testing.T) {
 			check(t, tb, queries)
 		}
 	})
+}
+
+// gatherIDs returns the distinct From carriers of a table in first-seen
+// order.
+func gatherIDs(tb *dataset.Table) []lte.CarrierID {
+	seen := make(map[lte.CarrierID]bool)
+	var ids []lte.CarrierID
+	for _, s := range tb.Sites {
+		if !seen[s.From] {
+			seen[s.From] = true
+			ids = append(ids, s.From)
+		}
+	}
+	return ids
+}
+
+// TestScopeEquivalentToCallback pins the neighborhood-posting-list
+// guarantee: PredictScope over a precomputed ScopeFrom row list must be
+// byte-identical — label, confidence, explanation AND every Diag field —
+// to PredictScoped with the equivalent From-membership predicate, for
+// empty, singleton, half, full and duplicate-laden id sets.
+func TestScopeEquivalentToCallback(t *testing.T) {
+	check := func(t *testing.T, tb *dataset.Table, queries [][]string) {
+		t.Helper()
+		fitted, err := New().Fit(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := fitted.(*Model)
+		ids := gatherIDs(tb)
+		cases := [][]lte.CarrierID{
+			nil,                  // empty neighborhood: local ladder matches nothing
+			ids[:1],              // single neighbor
+			ids[:(len(ids)+1)/2], // half the network
+			ids,                  // everyone
+			append(append([]lte.CarrierID{}, ids[:2]...), ids[0]), // duplicate ids
+		}
+		for ci, allow := range cases {
+			in := make(map[lte.CarrierID]bool, len(allow))
+			for _, id := range allow {
+				in[id] = true
+			}
+			pred := func(s dataset.Site) bool { return in[s.From] }
+			sc := m.ScopeFrom(allow)
+			wantRows := 0
+			for _, s := range tb.Sites {
+				if in[s.From] {
+					wantRows++
+				}
+			}
+			if sc.NumRows() != wantRows {
+				t.Fatalf("case %d: NumRows %d, want %d", ci, sc.NumRows(), wantRows)
+			}
+			for _, row := range queries {
+				want := m.PredictScoped(row, pred)
+				got := m.PredictScope(row, sc)
+				if got != want {
+					t.Fatalf("case %d PredictScope(%v)\n got %+v\nwant %+v", ci, row, got, want)
+				}
+			}
+		}
+		// A nil scope must behave like Predict.
+		for _, row := range queries {
+			if got, want := m.PredictScope(row, nil), m.Predict(row); got != want {
+				t.Fatalf("PredictScope(%v, nil)\n got %+v\nwant %+v", row, got, want)
+			}
+		}
+	}
+
+	t.Run("netsim", func(t *testing.T) {
+		w := netsim.Generate(netsim.Options{Seed: 31, Markets: 2, ENodeBsPerMarket: 12})
+		b := dataset.NewBuilder(w.Net, w.X2, nil)
+		for _, name := range []string{"sFreqPrio", "hysA3Offset"} {
+			pi := w.Schema.IndexOf(name)
+			tb := b.Labeled(w.Current, pi)
+			r := rng.New(55)
+			var queries [][]string
+			for i := 0; i < 25; i++ {
+				row := tb.Row(r.Intn(tb.Len()))
+				if r.Bool(0.3) {
+					row[r.Intn(len(row))] = "never-seen"
+				}
+				queries = append(queries, row)
+			}
+			check(t, tb, queries)
+		}
+	})
+
+	t.Run("random", func(t *testing.T) {
+		for seed := uint64(0); seed < 4; seed++ {
+			r := rng.New(4000 + seed)
+			tb := randomTable(r, 80+r.Intn(120))
+			var queries [][]string
+			for i := 0; i < 20; i++ {
+				queries = append(queries, randomQuery(r, tb))
+			}
+			check(t, tb, queries)
+		}
+	})
+}
+
+// TestPredictCodesEquivalent pins the batch-encoding guarantee: a row
+// encoded once through EncodeRow must predict byte-identically through
+// PredictCodes on every model sharing the columnar base — including the
+// Diag fields, with and without a scope.
+func TestPredictCodesEquivalent(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 41, Markets: 2, ENodeBsPerMarket: 12})
+	b := dataset.NewBuilder(w.Net, w.X2, nil)
+	tb1 := b.Labeled(w.Current, w.Schema.IndexOf("sFreqPrio"))
+	tb2 := b.Labeled(w.Current, w.Schema.IndexOf("qRxLevMin"))
+	f1, err := New().Fit(tb1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New().Fit(tb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := f1.(*Model), f2.(*Model)
+	if !m1.SharesEncoding(m2) || !m2.SharesEncoding(m1) {
+		t.Fatal("models labeled by one Builder must share their encoding")
+	}
+	other := randomTable(rng.New(5), 50)
+	fo, err := New().Fit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.SharesEncoding(fo.(*Model)) {
+		t.Fatal("models over unrelated bases must not share their encoding")
+	}
+
+	ids := gatherIDs(tb1)
+	r := rng.New(66)
+	for q := 0; q < 30; q++ {
+		row := tb1.Row(r.Intn(tb1.Len()))
+		if r.Bool(0.3) {
+			row[r.Intn(len(row))] = "never-seen"
+		}
+		codes := m1.EncodeRow(row) // encoded once, reused by both models
+		for _, m := range []*Model{m1, m2} {
+			if got, want := m.PredictCodes(codes, row, nil), m.Predict(row); got != want {
+				t.Fatalf("PredictCodes(%v)\n got %+v\nwant %+v", row, got, want)
+			}
+			sc := m.ScopeFrom(ids[:len(ids)/2])
+			if got, want := m.PredictCodes(codes, row, sc), m.PredictScope(row, sc); got != want {
+				t.Fatalf("scoped PredictCodes(%v)\n got %+v\nwant %+v", row, got, want)
+			}
+		}
+	}
+}
+
+// TestFitScratchReuseDeterministic pins the arena guarantee: refitting the
+// same table through heavily reused pooled scratch — interleaved with fits
+// of different shapes that resize and dirty every buffer — must produce
+// models with byte-identical predictions, sequentially and concurrently.
+func TestFitScratchReuseDeterministic(t *testing.T) {
+	r := rng.New(9)
+	tb := randomTable(r, 120)
+	pollute := randomTable(r, 61) // different shape: forces Reset/regrow paths
+	var queries [][]string
+	for i := 0; i < 25; i++ {
+		queries = append(queries, randomQuery(r, tb))
+	}
+	baseFit, err := New().Fit(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]learn.Prediction, len(queries))
+	for i, q := range queries {
+		base[i] = baseFit.Predict(q)
+	}
+	for round := 0; round < 8; round++ {
+		if _, err := New().Fit(pollute); err != nil {
+			t.Fatal(err)
+		}
+		refit, err := New().Fit(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			if got := refit.Predict(q); got != base[i] {
+				t.Fatalf("round %d query %v\n got %+v\nwant %+v", round, q, got, base[i])
+			}
+		}
+	}
+	// Concurrent fits share the scratch pool; the race detector covers it.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			refit, err := New().Fit(tb)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, q := range queries {
+				if got := refit.Predict(q); got != base[i] {
+					t.Errorf("concurrent refit query %v\n got %+v\nwant %+v", q, got, base[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"auric/internal/dataset"
+	"auric/internal/lte"
 )
 
 // Prediction is a recommended configuration value with supporting context.
@@ -75,6 +76,59 @@ type ScopedModel interface {
 	// PredictScoped predicts using only training samples whose site is
 	// allowed. A nil allowed behaves like Predict.
 	PredictScoped(row []string, allowed func(dataset.Site) bool) Prediction
+}
+
+// Scope is a precomputed voting-population restriction built by a
+// SiteScoper: an immutable handle over the sorted training-row list of an
+// allowed site set. A Scope is bound to the model that built it and is
+// safe to reuse across any number of concurrent predictions on that model.
+type Scope interface {
+	// NumRows reports how many training rows the scope admits.
+	NumRows() int
+}
+
+// SiteScoper is implemented by scoped models that can precompute the
+// evidence restriction for a set of allowed From carriers. Precomputing
+// turns the per-candidate allowed(site) callback of PredictScoped into a
+// sorted row list that the match machinery intersects like any other
+// posting list — the hot shape of the paper's 1-hop X2 neighborhood vote
+// (Sec 3.3).
+type SiteScoper interface {
+	ScopedModel
+	// ScopeFrom precomputes the scope admitting exactly the training rows
+	// whose Site.From is one of ids (duplicates in ids are harmless). The
+	// result is equivalent to a PredictScoped predicate testing From
+	// membership in ids.
+	ScopeFrom(ids []lte.CarrierID) Scope
+	// PredictScope predicts with a precomputed scope from the same model's
+	// ScopeFrom. A nil scope behaves like Predict.
+	PredictScope(row []string, sc Scope) Prediction
+}
+
+// CodesModel is implemented by scoped models that accept pre-encoded query
+// rows. Batch callers encode each attribute string through the column
+// dictionaries once and reuse the codes across every model sharing the
+// same columnar base — the per-batch amortization of Engine.RecommendBatch.
+type CodesModel interface {
+	ScopedModel
+	// SharesEncoding reports whether o decodes attribute codes identically
+	// to this model (both fitted over the same columnar base).
+	SharesEncoding(o Model) bool
+	// EncodeRow translates a query row into the model's code space, one
+	// code per column (-1 for values never seen in training).
+	EncodeRow(row []string) []int32
+	// PredictCodes predicts row given its precomputed encoding. codes must
+	// come from EncodeRow of a model sharing this model's encoding; row
+	// supplies the string values for explanations. sc may be nil, or a
+	// Scope from this model's ScopeFrom when it also implements SiteScoper.
+	PredictCodes(codes []int32, row []string, sc Scope) Prediction
+	// EncodesTable reports whether codes gathered from t's columns
+	// (Table.Code) are valid PredictCodes input — true when t shares the
+	// model's interned columnar base, so the table's stored codes equal
+	// what EncodeRow would produce for the same rows. Evaluation drivers
+	// use it to predict straight off the table without re-encoding
+	// strings.
+	EncodesTable(t *dataset.Table) bool
 }
 
 // WeightedModel is implemented by models whose votes can be weighted by

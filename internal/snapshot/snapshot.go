@@ -19,19 +19,98 @@ import (
 	"auric/internal/paramspec"
 )
 
-// fileFormat is bumped on breaking changes.
-const fileFormat = 1
+// fileFormat is the version Write produces. Format 2 stores the carrier
+// and eNodeB string attributes as per-column dictionaries plus columnar
+// codes instead of repeating one string per carrier — the on-disk twin of
+// the dataset layer's interned columns — which shrinks the file and makes
+// load-time interning exact (every carrier shares the dictionary's
+// backing string). Read accepts formats 1 and 2.
+const fileFormat = 2
 
 type file struct {
-	Format   int           `json:"format"`
-	Schema   []paramSpec   `json:"schema"`
-	Markets  []lte.Market  `json:"markets"`
-	ENodeBs  []enodeb      `json:"enodebs"`
-	Carriers []lte.Carrier `json:"carriers"`
+	Format  int          `json:"format"`
+	Schema  []paramSpec  `json:"schema"`
+	Markets []lte.Market `json:"markets"`
+	ENodeBs []enodeb     `json:"enodebs"`
+	// Carriers holds full carrier records with inline strings (format 1).
+	Carriers []lte.Carrier `json:"carriers,omitempty"`
+	// CarrierCores holds the numeric carrier fields (format 2+); the
+	// string attributes live in Columns.
+	CarrierCores []carrierCore `json:"carrierCores,omitempty"`
+	// Columns holds the interned string columns of the inventory
+	// (format 2+): the carrier fields info, mimoMode, hardware, vendor
+	// and softwareVersion, and the eNodeB field enbVendor.
+	Columns map[string]column `json:"columns,omitempty"`
 	// Singular holds per-carrier values in schema singular order.
 	Singular [][]float64 `json:"singular"`
 	// Pairs holds configured relations.
 	Pairs []pairValues `json:"pairs"`
+}
+
+// column is one interned string column: the dictionary of distinct values
+// and one dictionary index per row.
+type column struct {
+	Dict  []string `json:"dict"`
+	Codes []int32  `json:"codes"`
+}
+
+// carrierCore is a carrier without its string attributes (format 2+).
+type carrierCore struct {
+	ID             lte.CarrierID   `json:"id"`
+	ENodeB         lte.ENodeBID    `json:"enodeb"`
+	Face           int             `json:"face"`
+	FrequencyMHz   int             `json:"frequencyMHz"`
+	Type           lte.CarrierType `json:"type"`
+	Morphology     lte.Morphology  `json:"morphology"`
+	BandwidthMHz   int             `json:"bandwidthMHz"`
+	CellSizeMi     int             `json:"cellSizeMi"`
+	TAC            int             `json:"tac"`
+	Market         int             `json:"market"`
+	NeighborChan   int             `json:"neighborChan"`
+	NeighborsOnENB int             `json:"neighborsOnENB"`
+	Terrain        lte.Terrain     `json:"terrain"`
+	Lat            float64         `json:"lat"`
+	Lon            float64         `json:"lon"`
+}
+
+// colWriter interns one string column while the snapshot is assembled.
+type colWriter struct {
+	dict  []string
+	codes []int32
+	index map[string]int32
+}
+
+func newColWriter(n int) *colWriter {
+	return &colWriter{codes: make([]int32, 0, n), index: make(map[string]int32, 8)}
+}
+
+func (c *colWriter) add(s string) {
+	code, ok := c.index[s]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, s)
+		c.index[s] = code
+	}
+	c.codes = append(c.codes, code)
+}
+
+func (c *colWriter) column() column { return column{Dict: c.dict, Codes: c.codes} }
+
+// decode resolves a column back to one string per row; every row shares
+// the dictionary's backing string, so the loaded inventory arrives
+// interned.
+func (c column) decode(n int) ([]string, error) {
+	if len(c.Codes) != n {
+		return nil, fmt.Errorf("snapshot: column has %d codes, want %d", len(c.Codes), n)
+	}
+	out := make([]string, n)
+	for i, code := range c.Codes {
+		if code < 0 || int(code) >= len(c.Dict) {
+			return nil, fmt.Errorf("snapshot: column code %d outside dictionary of %d", code, len(c.Dict))
+		}
+		out[i] = c.Dict[code]
+	}
+	return out, nil
 }
 
 type paramSpec struct {
@@ -43,9 +122,11 @@ type paramSpec struct {
 }
 
 type enodeb struct {
-	ID       lte.ENodeBID    `json:"id"`
-	Market   int             `json:"market"`
-	Vendor   string          `json:"vendor"`
+	ID     lte.ENodeBID `json:"id"`
+	Market int          `json:"market"`
+	// Vendor is inline in format 1; format 2+ stores it in the enbVendor
+	// column instead.
+	Vendor   string          `json:"vendor,omitempty"`
 	Lat      float64         `json:"lat"`
 	Lon      float64         `json:"lon"`
 	Carriers []lte.CarrierID `json:"carriers"`
@@ -75,10 +156,42 @@ func Save(path string, net *lte.Network, cfg *lte.Config) error {
 	return f.Close()
 }
 
-// Write streams the snapshot to w (uncompressed JSON).
+// Write streams the snapshot to w (uncompressed JSON) in the current
+// format: numeric carrier cores plus one interned dictionary + code
+// column per string attribute.
 func Write(w io.Writer, net *lte.Network, cfg *lte.Config) error {
 	schema := cfg.Schema()
-	out := file{Format: fileFormat, Markets: net.Markets, Carriers: net.Carriers}
+	out := file{Format: fileFormat, Markets: net.Markets}
+	n := len(net.Carriers)
+	cols := map[string]*colWriter{
+		"info": newColWriter(n), "mimoMode": newColWriter(n), "hardware": newColWriter(n),
+		"vendor": newColWriter(n), "softwareVersion": newColWriter(n),
+		"enbVendor": newColWriter(len(net.ENodeBs)),
+	}
+	out.CarrierCores = make([]carrierCore, n)
+	for i := range net.Carriers {
+		c := &net.Carriers[i]
+		out.CarrierCores[i] = carrierCore{
+			ID: c.ID, ENodeB: c.ENodeB, Face: c.Face,
+			FrequencyMHz: c.FrequencyMHz, Type: c.Type, Morphology: c.Morphology,
+			BandwidthMHz: c.BandwidthMHz, CellSizeMi: c.CellSizeMi, TAC: c.TAC,
+			Market: c.Market, NeighborChan: c.NeighborChan,
+			NeighborsOnENB: c.NeighborsOnENB, Terrain: c.Terrain,
+			Lat: c.Lat, Lon: c.Lon,
+		}
+		cols["info"].add(c.Info)
+		cols["mimoMode"].add(c.MIMOMode)
+		cols["hardware"].add(c.Hardware)
+		cols["vendor"].add(c.Vendor)
+		cols["softwareVersion"].add(c.SoftwareVersion)
+	}
+	for i := range net.ENodeBs {
+		cols["enbVendor"].add(net.ENodeBs[i].Vendor)
+	}
+	out.Columns = make(map[string]column, len(cols))
+	for name, cw := range cols {
+		out.Columns[name] = cw.column()
+	}
 	for i := 0; i < schema.Len(); i++ {
 		p := schema.At(i)
 		out.Schema = append(out.Schema, paramSpec{
@@ -88,7 +201,7 @@ func Write(w io.Writer, net *lte.Network, cfg *lte.Config) error {
 	for i := range net.ENodeBs {
 		e := &net.ENodeBs[i]
 		out.ENodeBs = append(out.ENodeBs, enodeb{
-			ID: e.ID, Market: e.Market, Vendor: e.Vendor,
+			ID: e.ID, Market: e.Market,
 			Lat: e.Lat, Lon: e.Lon, Carriers: e.Carriers,
 		})
 	}
@@ -137,13 +250,14 @@ func Load(path string) (*lte.Network, *lte.Config, error) {
 	return Read(zr)
 }
 
-// Read parses an uncompressed JSON snapshot.
+// Read parses an uncompressed JSON snapshot in format 1 (inline carrier
+// strings) or format 2 (dictionary + code columns).
 func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 	var in file
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, nil, fmt.Errorf("snapshot: decoding: %w", err)
 	}
-	if in.Format != fileFormat {
+	if in.Format < 1 || in.Format > fileFormat {
 		return nil, nil, fmt.Errorf("snapshot: unsupported format %d", in.Format)
 	}
 	params := make([]paramspec.Param, len(in.Schema))
@@ -154,31 +268,18 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 		}
 	}
 	schema := paramspec.NewSchema(params)
-	// The JSON decoder allocates a fresh string per field per carrier;
-	// intern the attribute-bearing fields so the whole inventory shares
-	// one backing string per distinct value, the same sharing a
-	// generated world (and the dataset layer's column dictionaries
-	// downstream) start from.
-	intern := make(map[string]string)
-	share := func(s string) string {
-		if v, ok := intern[s]; ok {
-			return v
+	carriers, enbVendor, err := readCarriers(&in)
+	if err != nil {
+		return nil, nil, err
+	}
+	net := &lte.Network{Markets: in.Markets, Carriers: carriers}
+	for i, e := range in.ENodeBs {
+		vendor := e.Vendor
+		if enbVendor != nil {
+			vendor = enbVendor[i]
 		}
-		intern[s] = s
-		return s
-	}
-	for i := range in.Carriers {
-		c := &in.Carriers[i]
-		c.Info = share(c.Info)
-		c.MIMOMode = share(c.MIMOMode)
-		c.Hardware = share(c.Hardware)
-		c.Vendor = share(c.Vendor)
-		c.SoftwareVersion = share(c.SoftwareVersion)
-	}
-	net := &lte.Network{Markets: in.Markets, Carriers: in.Carriers}
-	for _, e := range in.ENodeBs {
 		net.ENodeBs = append(net.ENodeBs, lte.ENodeB{
-			ID: e.ID, Market: e.Market, Vendor: share(e.Vendor),
+			ID: e.ID, Market: e.Market, Vendor: vendor,
 			Lat: e.Lat, Lon: e.Lon, Carriers: e.Carriers,
 		})
 	}
@@ -211,4 +312,86 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 		}
 	}
 	return net, cfg, nil
+}
+
+// readCarriers rebuilds the carrier inventory of either format. Format 2
+// resolves the string columns through their dictionaries (arriving
+// interned for free); format 1 carriers decode with one fresh string per
+// field, so the attribute-bearing fields are interned here — the sharing
+// a generated world (and the dataset layer's column dictionaries
+// downstream) start from. The second result is the per-eNodeB vendor
+// column (nil for format 1, whose eNodeB records carry vendors inline).
+func readCarriers(in *file) ([]lte.Carrier, []string, error) {
+	if in.Format == 1 {
+		intern := make(map[string]string)
+		share := func(s string) string {
+			if v, ok := intern[s]; ok {
+				return v
+			}
+			intern[s] = s
+			return s
+		}
+		for i := range in.Carriers {
+			c := &in.Carriers[i]
+			c.Info = share(c.Info)
+			c.MIMOMode = share(c.MIMOMode)
+			c.Hardware = share(c.Hardware)
+			c.Vendor = share(c.Vendor)
+			c.SoftwareVersion = share(c.SoftwareVersion)
+		}
+		for i := range in.ENodeBs {
+			in.ENodeBs[i].Vendor = share(in.ENodeBs[i].Vendor)
+		}
+		return in.Carriers, nil, nil
+	}
+	n := len(in.CarrierCores)
+	col := func(name string, rows int) ([]string, error) {
+		c, ok := in.Columns[name]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: missing column %q", name)
+		}
+		vals, err := c.decode(rows)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: column %q: %w", name, err)
+		}
+		return vals, nil
+	}
+	info, err := col("info", n)
+	if err != nil {
+		return nil, nil, err
+	}
+	mimo, err := col("mimoMode", n)
+	if err != nil {
+		return nil, nil, err
+	}
+	hw, err := col("hardware", n)
+	if err != nil {
+		return nil, nil, err
+	}
+	vendor, err := col("vendor", n)
+	if err != nil {
+		return nil, nil, err
+	}
+	sw, err := col("softwareVersion", n)
+	if err != nil {
+		return nil, nil, err
+	}
+	enbVendor, err := col("enbVendor", len(in.ENodeBs))
+	if err != nil {
+		return nil, nil, err
+	}
+	carriers := make([]lte.Carrier, n)
+	for i, cc := range in.CarrierCores {
+		carriers[i] = lte.Carrier{
+			ID: cc.ID, ENodeB: cc.ENodeB, Face: cc.Face,
+			FrequencyMHz: cc.FrequencyMHz, Type: cc.Type, Morphology: cc.Morphology,
+			BandwidthMHz: cc.BandwidthMHz, CellSizeMi: cc.CellSizeMi, TAC: cc.TAC,
+			Market: cc.Market, NeighborChan: cc.NeighborChan,
+			NeighborsOnENB: cc.NeighborsOnENB, Terrain: cc.Terrain,
+			Lat: cc.Lat, Lon: cc.Lon,
+			Info: info[i], MIMOMode: mimo[i], Hardware: hw[i],
+			Vendor: vendor[i], SoftwareVersion: sw[i],
+		}
+	}
+	return carriers, enbVendor, nil
 }

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -83,5 +84,120 @@ func TestReadRejectsBadInput(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, _, err := Load(filepath.Join(t.TempDir(), "absent.gz")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestReadsFormatV1 pins backward compatibility: a format-1 snapshot
+// (inline carrier strings, no columns) still loads, producing the same
+// network and configuration as the current format.
+func TestReadsFormatV1(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 23, Markets: 1, ENodeBsPerMarket: 8})
+
+	// Assemble the v1 shape in-package: full carrier records and inline
+	// eNodeB vendors, exactly what a pre-v2 Write produced.
+	v1 := file{Format: 1, Markets: w.Net.Markets, Carriers: w.Net.Carriers}
+	schema := w.Current.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		p := schema.At(i)
+		v1.Schema = append(v1.Schema, paramSpec{
+			Name: p.Name, Kind: int(p.Kind), Min: p.Min, Max: p.Max, Step: p.Step,
+		})
+	}
+	for i := range w.Net.ENodeBs {
+		e := &w.Net.ENodeBs[i]
+		v1.ENodeBs = append(v1.ENodeBs, enodeb{
+			ID: e.ID, Market: e.Market, Vendor: e.Vendor,
+			Lat: e.Lat, Lon: e.Lon, Carriers: e.Carriers,
+		})
+	}
+	singularIdx := schema.Singular()
+	v1.Singular = make([][]float64, len(w.Net.Carriers))
+	for ci := range w.Net.Carriers {
+		row := make([]float64, len(singularIdx))
+		for j, pi := range singularIdx {
+			row[j] = w.Current.Get(lte.CarrierID(ci), pi)
+		}
+		v1.Singular[ci] = row
+	}
+	pairIdx := schema.PairWise()
+	for _, edge := range w.Current.Edges() {
+		pv := pairValues{From: edge.From, To: edge.To, Values: make([]float64, len(pairIdx))}
+		for j, pi := range pairIdx {
+			v, _ := w.Current.GetPair(edge.From, edge.To, pi)
+			pv.Values[j] = v
+		}
+		v1.Pairs = append(v1.Pairs, pv)
+	}
+	raw, err := json.Marshal(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net, cfg, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("reading format-1 snapshot: %v", err)
+	}
+	for i := range net.Carriers {
+		if net.Carriers[i] != w.Net.Carriers[i] {
+			t.Fatalf("carrier %d changed through v1 load", i)
+		}
+	}
+	for i := range net.ENodeBs {
+		if net.ENodeBs[i].Vendor != w.Net.ENodeBs[i].Vendor {
+			t.Fatalf("eNodeB %d vendor changed through v1 load", i)
+		}
+	}
+	if cfg.Schema().Len() != schema.Len() || cfg.NumEdges() != w.Current.NumEdges() {
+		t.Fatal("configuration changed through v1 load")
+	}
+}
+
+// TestWriteProducesColumnarV2 pins the current on-disk shape: format 2,
+// no inline carrier records, and one dictionary + code column per string
+// attribute, with code columns as long as the inventory.
+func TestWriteProducesColumnarV2(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 23, Markets: 1, ENodeBsPerMarket: 8})
+	var buf bytes.Buffer
+	if err := Write(&buf, w.Net, w.Current); err != nil {
+		t.Fatal(err)
+	}
+	var out file
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Format != 2 {
+		t.Fatalf("format = %d, want 2", out.Format)
+	}
+	if len(out.Carriers) != 0 {
+		t.Errorf("v2 snapshot still carries %d inline carrier records", len(out.Carriers))
+	}
+	if len(out.CarrierCores) != len(w.Net.Carriers) {
+		t.Fatalf("carrier cores = %d, want %d", len(out.CarrierCores), len(w.Net.Carriers))
+	}
+	for _, name := range []string{"info", "mimoMode", "hardware", "vendor", "softwareVersion"} {
+		c, ok := out.Columns[name]
+		if !ok {
+			t.Fatalf("missing column %q", name)
+		}
+		if len(c.Codes) != len(w.Net.Carriers) {
+			t.Errorf("column %q has %d codes, want %d", name, len(c.Codes), len(w.Net.Carriers))
+		}
+		if len(c.Dict) == 0 || len(c.Dict) >= len(w.Net.Carriers) {
+			t.Errorf("column %q dictionary size %d is not deduplicated", name, len(c.Dict))
+		}
+	}
+	if c, ok := out.Columns["enbVendor"]; !ok || len(c.Codes) != len(w.Net.ENodeBs) {
+		t.Errorf("enbVendor column missing or wrong length")
+	}
+	for i := range out.ENodeBs {
+		if out.ENodeBs[i].Vendor != "" {
+			t.Errorf("v2 eNodeB %d still carries an inline vendor", i)
+		}
+	}
+
+	// Unknown future formats are rejected.
+	bad := bytes.Replace(buf.Bytes(), []byte(`"format":2`), []byte(`"format":9`), 1)
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("format 9 accepted")
 	}
 }

@@ -10,22 +10,51 @@ import "math"
 // and columns with zero marginals are excluded from the effective
 // dimensions (a code never observed in the table contributes nothing, just
 // as an un-interned string never enters a Contingency).
+//
+// A CountTable is reusable scratch: Reset reshapes it for the next column
+// without releasing its backing arrays, which is how cf.Fit counts all 65
+// parameters' columns through one pooled table instead of allocating a
+// fresh one per column. Marginals are computed once per counting pass and
+// cached until the next Add or Reset, so ChiSquare followed by CramersV
+// walks the cells only once. A CountTable is not safe for concurrent use.
 type CountTable struct {
 	r, c   int
 	counts []int // row-major [r][c]
 	total  int
+
+	// Cached marginals, valid while dirty is false. Add and Reset
+	// invalidate; marginals() recomputes on demand.
+	dirty      bool
+	rowSums    []float64
+	colSums    []float64
+	reff, ceff int
 }
 
 // NewCountTable returns a zeroed r x c table. Dimensions are the code
 // cardinalities of the attribute and label dictionaries.
 func NewCountTable(r, c int) *CountTable {
-	return &CountTable{r: r, c: c, counts: make([]int, r*c)}
+	return &CountTable{r: r, c: c, counts: make([]int, r*c), dirty: true}
+}
+
+// Reset reshapes the table to r x c and zeroes every cell, reusing the
+// backing arrays when they are large enough. The receiver may be the zero
+// CountTable, so a pooled scratch value needs no constructor.
+func (t *CountTable) Reset(r, c int) {
+	t.r, t.c, t.total, t.dirty = r, c, 0, true
+	n := r * c
+	if cap(t.counts) < n {
+		t.counts = make([]int, n)
+		return
+	}
+	t.counts = t.counts[:n]
+	clear(t.counts)
 }
 
 // Add counts one observation of (attribute code, label code).
 func (t *CountTable) Add(r, c int) {
 	t.counts[r*t.c+c]++
 	t.total++
+	t.dirty = true
 }
 
 // Count returns the cell count for (attribute code, label code).
@@ -35,29 +64,51 @@ func (t *CountTable) Count(r, c int) int { return t.counts[r*t.c+c] }
 func (t *CountTable) Total() int { return t.total }
 
 // marginals returns the row and column sums and the effective dimensions
-// (rows and columns with at least one observation).
+// (rows and columns with at least one observation). The returned slices
+// are cached scratch owned by the table: treat them as read-only and
+// invalid after the next Add or Reset.
 func (t *CountTable) marginals() (rowSums, colSums []float64, reff, ceff int) {
-	rowSums = make([]float64, t.r)
-	colSums = make([]float64, t.c)
+	if !t.dirty {
+		return t.rowSums, t.colSums, t.reff, t.ceff
+	}
+	if cap(t.rowSums) < t.r {
+		t.rowSums = make([]float64, t.r)
+	}
+	if cap(t.colSums) < t.c {
+		t.colSums = make([]float64, t.c)
+	}
+	t.rowSums = t.rowSums[:t.r]
+	t.colSums = t.colSums[:t.c]
+	clear(t.rowSums)
+	clear(t.colSums)
 	for i := 0; i < t.r; i++ {
 		base := i * t.c
 		for j := 0; j < t.c; j++ {
 			n := float64(t.counts[base+j])
-			rowSums[i] += n
-			colSums[j] += n
+			t.rowSums[i] += n
+			t.colSums[j] += n
 		}
 	}
-	for _, s := range rowSums {
+	t.reff, t.ceff = 0, 0
+	for _, s := range t.rowSums {
 		if s > 0 {
-			reff++
+			t.reff++
 		}
 	}
-	for _, s := range colSums {
+	for _, s := range t.colSums {
 		if s > 0 {
-			ceff++
+			t.ceff++
 		}
 	}
-	return rowSums, colSums, reff, ceff
+	t.dirty = false
+	return t.rowSums, t.colSums, t.reff, t.ceff
+}
+
+// RowTotals returns the per-attribute-code observation counts (the row
+// marginals) as cached scratch: read-only, invalid after Add or Reset.
+func (t *CountTable) RowTotals() []float64 {
+	rowSums, _, _, _ := t.marginals()
+	return rowSums
 }
 
 // ChiSquare computes the chi-square statistic of Eq. (3) with the expected

@@ -1,0 +1,152 @@
+// Command benchcompare prints a benchstat-style comparison of two
+// bench-json files (the machine-readable output of scripts/bench_json.sh):
+// for every benchmark present in both files, each shared numeric metric is
+// shown as old -> new with its relative delta, negative deltas being
+// improvements for cost metrics (ns/op, B/op, allocs/op).
+//
+// Usage:
+//
+//	benchcompare [-max-regress PCT] old.json new.json
+//
+// By default the comparison is report-only and always exits 0, which is
+// how `make check` calls it: the delta is surfaced in the log without
+// turning a measurement wobble into a build failure. With -max-regress N,
+// any ns/op regression above N percent fails the run — the opt-in gate
+// for perf-sensitive branches.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	Benchtime string           `json:"benchtime"`
+	Count     int              `json:"count"`
+	Results   []map[string]any `json:"results"`
+}
+
+// metricOrder lists the well-known metrics first; anything else a
+// benchmark reports (rows, acc-%, carrier-us, ...) follows alphabetically.
+var metricOrder = map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail when any ns/op regression exceeds this percentage (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress PCT] old.json new.json")
+		os.Exit(2)
+	}
+	oldF, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newF, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	oldBy := byName(oldF)
+	fmt.Printf("benchcompare: %s (benchtime=%s) -> %s (benchtime=%s)\n",
+		flag.Arg(0), oldF.Benchtime, flag.Arg(1), newF.Benchtime)
+	var failed bool
+	matched := 0
+	for _, nr := range newF.Results {
+		name, _ := nr["name"].(string)
+		or, ok := oldBy[name]
+		if !ok {
+			continue
+		}
+		matched++
+		for _, metric := range sharedMetrics(or, nr) {
+			ov, nv := or[metric].(float64), nr[metric].(float64)
+			delta := "~"
+			if ov != 0 {
+				pct := (nv - ov) / ov * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if metric == "ns/op" && *maxRegress > 0 && pct > *maxRegress {
+					delta += " REGRESSION"
+					failed = true
+				}
+			}
+			fmt.Printf("  %-52s %-10s %14s -> %-14s %s\n",
+				name, metric, formatNum(ov), formatNum(nv), delta)
+		}
+	}
+	if matched == 0 {
+		fmt.Println("  (no benchmarks in common)")
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcompare: ns/op regression above %.1f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func byName(f *benchFile) map[string]map[string]any {
+	out := make(map[string]map[string]any, len(f.Results))
+	for _, r := range f.Results {
+		if name, ok := r["name"].(string); ok {
+			out[name] = r
+		}
+	}
+	return out
+}
+
+// sharedMetrics lists the numeric metrics present in both records,
+// well-known cost metrics first.
+func sharedMetrics(or, nr map[string]any) []string {
+	var out []string
+	for k, v := range nr {
+		if k == "name" || k == "iterations" {
+			continue
+		}
+		if _, isNum := v.(float64); !isNum {
+			continue
+		}
+		if _, inOld := or[k].(float64); inOld {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, iOK := metricOrder[out[i]]
+		oj, jOK := metricOrder[out[j]]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}
