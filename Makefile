@@ -6,9 +6,9 @@
 # concurrent scrape + increment.
 GO ?= go
 
-.PHONY: check build vet fmt-check doc-audit test race bench bench-smoke bench-json bench-compare serve-smoke
+.PHONY: check build vet fmt-check doc-audit test race bench bench-smoke bench-json bench-compare serve-smoke load-smoke fuzz-smoke
 
-check: build vet fmt-check doc-audit test race bench-smoke bench-compare serve-smoke
+check: build vet fmt-check doc-audit test race fuzz-smoke bench-smoke bench-compare serve-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -58,28 +58,50 @@ bench-json:
 	./scripts/bench_json.sh
 
 # bench-compare prints a benchstat-style delta between two bench-json
-# files (scripts/benchcompare). Explicit form:
-#   make bench-compare OLD=old.json NEW=new.json
-# Without OLD, it runs in report-only mode against the committed
-# baselines: any working-tree BENCH_*.json that differs from HEAD is
-# diffed against its committed version, and nothing fails — the delta is
-# informational, so a measurement wobble never breaks `make check`.
+# files (scripts/benchcompare) and is a hard gate: an ns/op regression
+# above MAX_REGRESS percent whose mean±spread intervals do not overlap
+# fails the build (spread comes from COUNT>1 bench-json runs; wobbles on
+# noisy benchmarks overlap and pass). MAX_REGRESS=0 restores report-only.
+# Explicit form:
+#   make bench-compare OLD=old.json NEW=new.json [MAX_REGRESS=PCT]
+# Without OLD, any working-tree BENCH_*.json that differs from HEAD is
+# gated against its committed version.
+MAX_REGRESS ?= 60
 bench-compare:
 ifdef OLD
-	$(GO) run ./scripts/benchcompare $(OLD) $(NEW)
+	$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) $(OLD) $(NEW)
 else
-	@for f in BENCH_cf.json BENCH_core.json; do \
+	@status=0; for f in BENCH_cf.json BENCH_core.json; do \
 		if git cat-file -e HEAD:$$f 2>/dev/null && ! git diff --quiet HEAD -- $$f 2>/dev/null; then \
 			base=$$(mktemp); git show HEAD:$$f > $$base; \
-			$(GO) run ./scripts/benchcompare $$base $$f || true; \
+			$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) $$base $$f || status=1; \
 			rm -f $$base; \
 		fi; \
-	done
-	@echo "bench-compare: done (report-only vs committed baselines)"
+	done; \
+	[ $$status -eq 0 ] || { echo "bench-compare: regression gate failed (MAX_REGRESS=$(MAX_REGRESS)%)"; exit 1; }
+	@echo "bench-compare: done (gate at $(MAX_REGRESS)% vs committed baselines)"
 endif
 
 # serve-smoke boots auricd on a random port, exercises /healthz,
-# /metrics, /v1/recommend, /debug/traces and the audit log over real
-# TCP, and verifies SIGTERM shuts it down cleanly.
+# /metrics, /v1/recommend, /v1/reload (HTTP and SIGHUP), /v1/shards,
+# NDJSON batch streaming, /debug/traces and the audit log over real TCP,
+# and verifies SIGTERM shuts it down cleanly.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# load-smoke is the standing serving-path performance gate: auricload
+# drives a short in-process load with a snapshot reload racing it, fails
+# on any request failure or a throughput collapse, and prints the JSON
+# p50/p99 report (scripts/load_smoke.sh; EXPERIMENTS.md has measured
+# numbers).
+load-smoke:
+	./scripts/load_smoke.sh
+
+# fuzz-smoke runs the snapshot-reader fuzz target over its committed
+# corpus plus a short randomized burst — long enough to catch a decoder
+# panic reintroduced on the Read path, short enough for every `make
+# check`. Longer sessions: go test -fuzz=FuzzSnapshotRead ./internal/snapshot/
+# -fuzzminimizetime=5x keeps input minimization from monopolizing the
+# short budget on single-core machines.
+fuzz-smoke:
+	$(GO) test -run=FuzzSnapshotRead -fuzz=FuzzSnapshotRead -fuzztime=10s -fuzzminimizetime=5x ./internal/snapshot/

@@ -78,6 +78,9 @@ type (
 	BatchItem = core.BatchItem
 	// BatchResult is the per-item outcome of Engine.RecommendBatch.
 	BatchResult = core.BatchResult
+	// ShardedEngine serves one engine per market with atomic zero-downtime
+	// snapshot reload — the multi-market deployment shape of auricd.
+	ShardedEngine = core.ShardedEngine
 	// Learner is the pluggable dependency-model learner interface.
 	Learner = learn.Learner
 )
@@ -113,6 +116,14 @@ func DefaultNetworkOptions() NetworkOptions { return netsim.DefaultOptions() }
 // to scope voting to the 1-hop X2 neighborhood (the configuration that
 // achieves the paper's headline accuracy).
 func NewEngine(schema *Schema, opts EngineOptions) *Engine { return core.New(schema, opts) }
+
+// NewShardedEngine creates a sharded multi-market engine: one per-market
+// engine trained on that market's carriers, requests routed by carrier
+// market, snapshots swapped atomically by Load with zero downtime. opts
+// apply to every shard.
+func NewShardedEngine(schema *Schema, opts EngineOptions) *ShardedEngine {
+	return core.NewSharded(schema, opts)
+}
 
 // BuildX2 derives the X2 neighbor-relation graph of a network from eNodeB
 // positions.

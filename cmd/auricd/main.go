@@ -1,21 +1,28 @@
 // Command auricd serves configuration recommendations over HTTP, the way
 // Auric is consumed inside the SmartLaunch automation (Sec 5).
 //
-// It generates (or, in a real deployment, would load) a network snapshot,
-// trains the local collaborative-filtering engine, and serves:
+// It generates (or loads, with -load) a network snapshot and trains one
+// local collaborative-filtering engine per market — the sharded serving
+// shape of the paper's 28-market deployment. Requests route to their
+// carrier's market shard, and snapshots reload with zero downtime: a new
+// shard set trains in the background, an atomic pointer swap makes it
+// live, and in-flight requests drain on the old generation.
 //
 //	GET  /healthz                 -> ok
 //	GET  /v1/network              -> network summary JSON
 //	GET  /v1/carriers/{id}        -> carrier attributes JSON
+//	GET  /v1/shards               -> per-market shard layout + generation
 //	POST /v1/recommend            -> recommendations for a carrier
+//	POST /v1/reload               -> retrain + swap the shard set
 //	GET  /metrics                 -> Prometheus text exposition
 //	GET  /debug/traces            -> recent + slow request traces JSON
 //	     /debug/pprof/...        -> net/http/pprof (with -pprof)
 //
-// Every request is traced (internal/trace): the response carries a W3C
-// traceparent header, sampled requests record a span tree served at
-// /debug/traces, and with -audit-log each recommendation value served is
-// appended to a JSONL audit log joined to its trace by trace id.
+// SIGHUP triggers the same reload as POST /v1/reload. Every request is
+// traced (internal/trace): the response carries a W3C traceparent header,
+// sampled requests record a span tree served at /debug/traces, and with
+// -audit-log each recommendation value served is appended to a JSONL
+// audit log joined to its trace by trace id.
 //
 // The recommend body identifies either an existing carrier by id, or a new
 // carrier by eNodeB + frequency:
@@ -26,7 +33,10 @@
 // A JSON array of such objects requests a batch: every item is answered
 // in its own slot of the "results" array (recommendations or a per-item
 // "error"), so one bad item never fails its siblings, and all valid items
-// share one engine fan-out.
+// share the engine fan-out of their market shard. With
+// "Accept: application/x-ndjson" a batch streams instead: one JSON object
+// per line, flushed per result in request order as each carrier
+// completes, so a 10K-carrier sweep never buffers the whole response.
 //
 // Errors are JSON objects of the form {"error": "..."}. The server runs
 // with explicit read/write timeouts and drains in-flight requests on
@@ -62,9 +72,13 @@ import (
 
 type server struct {
 	schema *auric.Schema
-	net    *auric.Network
-	x2     *auric.X2Graph
-	engine *auric.Engine
+	engine *auric.ShardedEngine
+	// source rebuilds the engine's inputs for reloads: from the -load
+	// snapshot file in snapshot mode, from the generated world otherwise.
+	// It must be safe to call repeatedly.
+	source func() (*auric.Network, *auric.X2Graph, *auric.Config, error)
+	// reloadMu serializes reloads (HTTP and SIGHUP); serving never takes it.
+	reloadMu sync.Mutex
 	// world is present when the network was generated in-process; it
 	// enables richer new-carrier synthesis. Snapshot-served networks run
 	// with world == nil and derive new carriers from a co-sited donor.
@@ -73,12 +87,18 @@ type server struct {
 	// request goroutines and guarded by newRNGMu.
 	newRNG   *rng.RNG
 	newRNGMu sync.Mutex
+	// streamChunk is the per-flush chunk size of NDJSON batch streaming
+	// (0 means the engine default).
+	streamChunk int
 	// recommendations counts recommendation values served, by voting
 	// support (auric_recommendations_total{supported}).
 	recommendations *obs.CounterVec
 	// batchSize distributes the carriers per POST /v1/recommend request
 	// (auric_recommend_batch_size; the single-object form observes 1).
 	batchSize *obs.Histogram
+	// reloads counts snapshot reloads by trigger and outcome
+	// (auric_reloads_total{trigger,ok}).
+	reloads *obs.CounterVec
 	// audit, when non-nil, receives one record per recommendation value
 	// served by POST /v1/recommend.
 	audit *audit.Log
@@ -99,7 +119,8 @@ func main() {
 		markets   = flag.Int("markets", 4, "number of markets")
 		enbs      = flag.Int("enbs", 30, "eNodeBs per market")
 		load      = flag.String("load", "", "serve a network snapshot (auricgen -save) instead of generating")
-		workers   = flag.Int("workers", 0, "train/recommend worker pool size (0 = all CPUs)")
+		workers   = flag.Int("workers", 0, "train/recommend worker pool size per shard (0 = all CPUs)")
+		chunk     = flag.Int("stream-chunk", 0, "carriers per NDJSON flush chunk (0 = engine default)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", true, "log one structured line per request")
 
@@ -112,7 +133,7 @@ func main() {
 	)
 	flag.Parse()
 
-	s := &server{newRNG: rng.New(*seed ^ 0xd)}
+	s := &server{newRNG: rng.New(*seed ^ 0xd), streamChunk: *chunk}
 	if *auditPath != "" {
 		al, err := audit.Open(*auditPath, audit.Options{MaxBytes: *auditMaxBytes})
 		if err != nil {
@@ -123,29 +144,48 @@ func main() {
 		log.Printf("auditing recommendations to %s (rotate at %d bytes)", *auditPath, *auditMaxBytes)
 	}
 	if *load != "" {
-		log.Printf("loading snapshot %s", *load)
-		net, cfg, err := snapshot.Load(*load)
-		if err != nil {
-			log.Fatal(err)
+		path := *load
+		s.source = func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
+			net, cfg, err := snapshot.Load(path)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return net, auric.BuildX2(net), cfg, nil
 		}
-		s.schema, s.net = cfg.Schema(), net
-		s.x2 = auric.BuildX2(net)
-		log.Printf("training local collaborative-filtering engine on %d carriers", len(net.Carriers))
-		s.engine = auric.NewEngine(s.schema, auric.EngineOptions{Local: true, Workers: *workers})
-		if err := s.engine.Train(net, s.x2, cfg); err != nil {
-			log.Fatal(err)
-		}
+		log.Printf("loading snapshot %s", path)
 	} else {
 		log.Printf("generating network (seed=%d, %d markets x %d eNodeBs)", *seed, *markets, *enbs)
 		w := auric.SimulateNetwork(auric.NetworkOptions{Seed: *seed, Markets: *markets, ENodeBsPerMarket: *enbs})
-		log.Printf("training local collaborative-filtering engine on %d carriers", len(w.Net.Carriers))
-		engine := auric.NewEngine(w.Schema, auric.EngineOptions{Local: true, Workers: *workers})
-		if err := engine.Train(w.Net, w.X2, w.Current); err != nil {
-			log.Fatal(err)
+		s.world = w
+		s.source = func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
+			return w.Net, w.X2, w.Current, nil
 		}
-		s.world, s.engine = w, engine
-		s.schema, s.net, s.x2 = w.Schema, w.Net, w.X2
 	}
+	net0, x2, cfg, err := s.source()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.schema = cfg.Schema()
+	s.engine = auric.NewShardedEngine(s.schema, auric.EngineOptions{Local: true, Workers: *workers})
+	log.Printf("training %d market shards on %d carriers", len(net0.Markets), len(net0.Carriers))
+	start := time.Now()
+	gen, err := s.engine.Load(net0, x2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shard set ready: generation %d in %.2fs", gen, time.Since(start).Seconds())
+
+	// SIGHUP reloads the snapshot with zero downtime, the operator's
+	// signal-driven twin of POST /v1/reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if _, err := s.reload("sighup"); err != nil {
+				log.Printf("auricd: SIGHUP reload failed: %v", err)
+			}
+		}
+	}()
 
 	obs.RegisterRuntimeMetrics(obs.Default())
 	opts := handlerOptions{
@@ -163,6 +203,29 @@ func main() {
 	if err := serve(*addr, newHandler(s, opts)); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// reload retrains the shard set from the snapshot source and swaps it in
+// atomically. It returns the new generation; concurrent reload triggers
+// serialize.
+func (s *server) reload(trigger string) (int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	net, x2, cfg, err := s.source()
+	if err == nil {
+		_, err = s.engine.Load(net, x2, cfg)
+	}
+	if s.reloads != nil {
+		s.reloads.With(trigger, strconv.FormatBool(err == nil)).Inc()
+	}
+	if err != nil {
+		return 0, err
+	}
+	gen := s.engine.Generation()
+	log.Printf("auricd: reload complete (trigger=%s): generation %d, %d carriers in %.2fs",
+		trigger, gen, len(net.Carriers), time.Since(start).Seconds())
+	return gen, nil
 }
 
 // serve runs an explicit http.Server on addr with header/body timeouts
@@ -228,7 +291,9 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 		"Recommendation values served by POST /v1/recommend, by voting support.", "supported")
 	s.batchSize = reg.Histogram("auric_recommend_batch_size",
 		"Carriers per POST /v1/recommend request (1 for the single-object form).",
-		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384})
+	s.reloads = reg.CounterVec("auric_reloads_total",
+		"Snapshot reloads, by trigger (http, sighup) and outcome.", "trigger", "ok")
 
 	mux := http.NewServeMux()
 	route := func(method, pattern string, h http.HandlerFunc) {
@@ -246,7 +311,9 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 	})
 	route("GET", "/v1/network", s.handleNetwork)
 	route("GET", "/v1/carriers/", s.handleCarrier)
+	route("GET", "/v1/shards", s.handleShards)
 	route("POST", "/v1/recommend", s.handleRecommend)
+	route("POST", "/v1/reload", s.handleReload)
 	mux.Handle("GET /metrics", m.Handler("/metrics", reg.Handler()))
 	mux.Handle("/metrics", m.Handler("/metrics", methodNotAllowed("GET")))
 	// The trace inspection endpoint is not itself traced: reading the
@@ -275,11 +342,29 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 	return h
 }
 
+// inventory pins the serving snapshot for one request. All reads of the
+// returned structures are consistent with one generation; the engine call
+// that follows may land on a newer one, which is safe because carrier ids
+// are stable across reloads of the same network.
+func (s *server) inventory(rw http.ResponseWriter) (*auric.Network, *auric.X2Graph, int64, bool) {
+	net, x2, gen, err := s.engine.Inventory()
+	if err != nil {
+		writeError(rw, http.StatusServiceUnavailable, err.Error())
+		return nil, nil, 0, false
+	}
+	return net, x2, gen, true
+}
+
 func (s *server) handleNetwork(rw http.ResponseWriter, _ *http.Request) {
+	net, _, gen, ok := s.inventory(rw)
+	if !ok {
+		return
+	}
 	writeJSON(rw, map[string]any{
-		"markets":  len(s.net.Markets),
-		"enodebs":  len(s.net.ENodeBs),
-		"carriers": len(s.net.Carriers),
+		"markets":    len(net.Markets),
+		"enodebs":    len(net.ENodeBs),
+		"carriers":   len(net.Carriers),
+		"generation": gen,
 		"schema": map[string]int{
 			"parameters": s.schema.Len(),
 			"singular":   len(s.schema.Singular()),
@@ -288,14 +373,71 @@ func (s *server) handleNetwork(rw http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleShards reports the serving shard layout: one entry per market
+// with its carrier count, plus the snapshot generation — the operator's
+// view of the partition behind /v1/recommend routing.
+func (s *server) handleShards(rw http.ResponseWriter, _ *http.Request) {
+	net, _, gen, ok := s.inventory(rw)
+	if !ok {
+		return
+	}
+	sizes, err := s.engine.ShardSizes()
+	if err != nil {
+		writeError(rw, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	type shardInfo struct {
+		Market   int    `json:"market"`
+		Name     string `json:"name"`
+		Carriers int    `json:"carriers"`
+	}
+	shards := make([]shardInfo, 0, len(sizes))
+	for m, n := range sizes {
+		name := ""
+		if m < len(net.Markets) {
+			name = net.Markets[m].Name
+		}
+		shards = append(shards, shardInfo{Market: m, Name: name, Carriers: n})
+	}
+	writeJSON(rw, map[string]any{
+		"generation": gen,
+		"shards":     shards,
+	})
+}
+
+// handleReload retrains the shard set from the snapshot source and swaps
+// it in with zero downtime — the HTTP twin of SIGHUP.
+func (s *server) handleReload(rw http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
+	gen, err := s.reload("http")
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	net, _, _, ok := s.inventory(rw)
+	if !ok {
+		return
+	}
+	writeJSON(rw, map[string]any{
+		"generation": gen,
+		"carriers":   len(net.Carriers),
+		"markets":    len(net.Markets),
+		"seconds":    time.Since(start).Seconds(),
+	})
+}
+
 func (s *server) handleCarrier(rw http.ResponseWriter, r *http.Request) {
+	net, x2, _, ok := s.inventory(rw)
+	if !ok {
+		return
+	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/v1/carriers/")
 	id, err := strconv.Atoi(idStr)
-	if err != nil || id < 0 || id >= len(s.net.Carriers) {
+	if err != nil || id < 0 || id >= len(net.Carriers) {
 		writeError(rw, http.StatusNotFound, "unknown carrier")
 		return
 	}
-	c := &s.net.Carriers[id]
+	c := &net.Carriers[id]
 	attrs := map[string]string{}
 	names := attributeNames()
 	for i, v := range c.AttributeVector() {
@@ -305,8 +447,9 @@ func (s *server) handleCarrier(rw http.ResponseWriter, r *http.Request) {
 		"id":         c.ID,
 		"enodeb":     c.ENodeB,
 		"face":       c.Face,
+		"market":     c.Market,
 		"attributes": attrs,
-		"neighbors":  s.x2.CarrierNeighbors(c.ID),
+		"neighbors":  x2.CarrierNeighbors(c.ID),
 	})
 }
 
@@ -339,7 +482,9 @@ type recommendation struct {
 // an array of request objects, answered item by item. Batch items fail
 // independently — a bad carrier id yields {"error": ...} in that item's
 // slot while its siblings are still recommended — so one malformed entry
-// never turns a 200 into a 400 for the rest of the batch.
+// never turns a 200 into a 400 for the rest of the batch. Batches with
+// "Accept: application/x-ndjson" stream one entry per line instead of
+// buffering the response.
 func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -355,8 +500,12 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
+	net, x2, _, ok := s.inventory(rw)
+	if !ok {
+		return
+	}
 	s.observeBatchSize(1)
-	carrier, neighbors, status, msg := s.resolveRecommend(req)
+	carrier, neighbors, status, msg := s.resolveRecommend(net, x2, req)
 	if status != 0 {
 		writeError(rw, status, msg)
 		return
@@ -384,10 +533,17 @@ type batchEntry struct {
 	Recommendations []recommendation `json:"recommendations,omitempty"`
 }
 
+// wantsNDJSON reports whether the client negotiated streaming batch
+// responses via the Accept header.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
 // handleRecommendBatch answers the array form: every item resolves and
-// recommends independently, valid items share one engine fan-out
-// (Engine.RecommendBatch), and the response carries one entry per item in
-// request order.
+// recommends independently, valid items share the engine fan-out of
+// their market shard, and the response carries one entry per item in
+// request order — buffered JSON by default, NDJSON streaming when the
+// client asks for it.
 func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, body []byte) {
 	var reqs []recommendRequest
 	if err := json.Unmarshal(body, &reqs); err != nil {
@@ -398,12 +554,16 @@ func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, b
 		writeError(rw, http.StatusBadRequest, "empty batch")
 		return
 	}
+	net, x2, _, ok := s.inventory(rw)
+	if !ok {
+		return
+	}
 	s.observeBatchSize(len(reqs))
 	entries := make([]batchEntry, len(reqs))
 	items := make([]auric.BatchItem, 0, len(reqs))
 	itemOf := make([]int, 0, len(reqs)) // batch item -> request index
 	for i, req := range reqs {
-		carrier, neighbors, status, msg := s.resolveRecommend(req)
+		carrier, neighbors, status, msg := s.resolveRecommend(net, x2, req)
 		if status != 0 {
 			entries[i] = batchEntry{Carrier: -1, Error: msg}
 			continue
@@ -413,6 +573,10 @@ func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, b
 		itemOf = append(itemOf, i)
 	}
 	traceID := requestTraceID(r)
+	if wantsNDJSON(r) {
+		s.streamRecommendBatch(rw, r, entries, items, itemOf, traceID)
+		return
+	}
 	if len(items) > 0 {
 		results, err := s.engine.RecommendBatch(r.Context(), items)
 		if err != nil {
@@ -434,26 +598,76 @@ func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, b
 	})
 }
 
+// streamRecommendBatch writes the batch as NDJSON: one compact JSON
+// object per line — the same shape as a buffered "results" entry — in
+// strict request order, flushed per result as each carrier completes on
+// its shard. Per-item failures (resolution or engine) ride inline as
+// {"error": ...} lines and never terminate the stream; only a transport
+// failure can truncate it.
+func (s *server) streamRecommendBatch(rw http.ResponseWriter, r *http.Request, entries []batchEntry, items []auric.BatchItem, itemOf []int, traceID string) {
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := rw.(http.Flusher)
+	next := 0 // next request index to write
+	writeUpTo := func(limit int) {
+		for ; next < limit; next++ {
+			line, err := json.Marshal(&entries[next])
+			if err != nil {
+				line = []byte(`{"carrier":-1,"error":"encoding entry"}`)
+			}
+			rw.Write(line)
+			io.WriteString(rw, "\n")
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	err := s.engine.RecommendStream(r.Context(), items, s.streamChunk, func(bi int, res auric.BatchResult) {
+		ri := itemOf[bi]
+		// Resolution-failure entries queued before this item flush first,
+		// keeping the stream in request order.
+		writeUpTo(ri)
+		e := &entries[ri]
+		if res.Err != nil {
+			e.Error = res.Err.Error()
+		} else {
+			e.Recommendations = s.renderRecommendations(items[bi].Carrier, res.Recommendations, traceID)
+		}
+		writeUpTo(ri + 1)
+	})
+	if err != nil {
+		// Before the first line the response can still be a JSON error;
+		// afterwards the stream has committed its 200 and simply ends
+		// short (the client detects truncation by line count).
+		if next == 0 {
+			writeError(rw, http.StatusInternalServerError, err.Error())
+		} else {
+			log.Printf("auricd: NDJSON stream aborted after %d lines: %v", next, err)
+		}
+		return
+	}
+	writeUpTo(len(entries)) // trailing resolution-failure entries
+}
+
 // resolveRecommend turns one request into the carrier to recommend for
 // (and its pair-wise neighbors); a non-zero status reports a per-request
 // resolution failure.
-func (s *server) resolveRecommend(req recommendRequest) (carrier *auric.Carrier, neighbors []auric.CarrierID, status int, msg string) {
+func (s *server) resolveRecommend(net *auric.Network, x2 *auric.X2Graph, req recommendRequest) (carrier *auric.Carrier, neighbors []auric.CarrierID, status int, msg string) {
 	switch {
 	case req.Carrier != nil:
 		id := *req.Carrier
-		if id < 0 || id >= len(s.net.Carriers) {
+		if id < 0 || id >= len(net.Carriers) {
 			return nil, nil, http.StatusNotFound, "unknown carrier"
 		}
-		carrier = &s.net.Carriers[id]
+		carrier = &net.Carriers[id]
 		if req.Pairwise {
-			neighbors = s.x2.CarrierNeighbors(carrier.ID)
+			neighbors = x2.CarrierNeighbors(carrier.ID)
 		}
 	case req.ENodeB != nil:
 		enb := *req.ENodeB
-		if enb < 0 || enb >= len(s.net.ENodeBs) {
+		if enb < 0 || enb >= len(net.ENodeBs) {
 			return nil, nil, http.StatusNotFound, "unknown eNodeB"
 		}
-		nc := s.newCarrierAt(auric.ENodeBID(enb))
+		nc := s.newCarrierAt(net, auric.ENodeBID(enb))
 		if nc == nil {
 			return nil, nil, http.StatusConflict, "eNodeB hosts no carriers to derive from"
 		}
@@ -469,7 +683,8 @@ func (s *server) resolveRecommend(req recommendRequest) (carrier *auric.Carrier,
 
 // renderRecommendations converts engine recommendations to response DTOs
 // and feeds the per-value serving counter and audit log — shared by the
-// single and batch forms so observability stays per-carrier either way.
+// single, batch and streaming forms so observability stays per-carrier
+// either way.
 func (s *server) renderRecommendations(carrier *auric.Carrier, recs []auric.Recommendation, traceID string) []recommendation {
 	now := time.Now()
 	out := make([]recommendation, 0, len(recs))
@@ -592,18 +807,18 @@ func attributeNames() []string {
 // newCarrierAt synthesizes a launch-ready carrier on an existing eNodeB:
 // via the generator when available, otherwise by copying a co-sited donor
 // carrier (the vendor's own practice).
-func (s *server) newCarrierAt(enb auric.ENodeBID) *auric.Carrier {
-	id := auric.CarrierID(len(s.net.Carriers))
+func (s *server) newCarrierAt(net *auric.Network, enb auric.ENodeBID) *auric.Carrier {
+	id := auric.CarrierID(len(net.Carriers))
 	if s.world != nil {
 		s.newRNGMu.Lock()
 		defer s.newRNGMu.Unlock()
 		return s.world.NewCarrierAt(enb, id, s.newRNG)
 	}
-	e := &s.net.ENodeBs[enb]
+	e := &net.ENodeBs[enb]
 	if len(e.Carriers) == 0 {
 		return nil
 	}
-	donor := s.net.Carriers[e.Carriers[0]]
+	donor := net.Carriers[e.Carriers[0]]
 	donor.ID = id
 	donor.ENodeB = enb
 	donor.NeighborsOnENB = len(e.Carriers)

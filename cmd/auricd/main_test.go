@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -25,13 +26,17 @@ import (
 func testServer(t *testing.T) *server {
 	t.Helper()
 	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: 2, Markets: 1, ENodeBsPerMarket: 10})
-	engine := auric.NewEngine(w.Schema, auric.EngineOptions{Local: true})
-	if err := engine.Train(w.Net, w.X2, w.Current); err != nil {
+	engine := auric.NewShardedEngine(w.Schema, auric.EngineOptions{Local: true})
+	if _, err := engine.Load(w.Net, w.X2, w.Current); err != nil {
 		t.Fatal(err)
 	}
 	return &server{
-		schema: w.Schema, net: w.Net, x2: w.X2,
-		world: w, engine: engine, newRNG: rng.New(1),
+		schema: w.Schema, world: w, engine: engine, newRNG: rng.New(1),
+		source: func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
+			return w.Net, w.X2, w.Current, nil
+		},
+		// One-carrier flush chunks so streaming tests observe every line.
+		streamChunk: 1,
 	}
 }
 
@@ -164,6 +169,8 @@ func TestMuxMethodNotAllowed(t *testing.T) {
 		{"POST", "/v1/network"},
 		{"DELETE", "/healthz"},
 		{"POST", "/metrics"},
+		{"GET", "/v1/reload"},
+		{"POST", "/v1/shards"},
 	}
 	for _, tc := range tests {
 		rec := do(h, tc.method, tc.path, "")
@@ -314,11 +321,11 @@ func TestSnapshotServedServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	x2 := auric.BuildX2(net)
-	engine := auric.NewEngine(cfg.Schema(), auric.EngineOptions{Local: true})
-	if err := engine.Train(net, x2, cfg); err != nil {
+	engine := auric.NewShardedEngine(cfg.Schema(), auric.EngineOptions{Local: true})
+	if _, err := engine.Load(net, x2, cfg); err != nil {
 		t.Fatal(err)
 	}
-	s := &server{schema: cfg.Schema(), net: net, x2: x2, engine: engine, newRNG: rng.New(1)}
+	s := &server{schema: cfg.Schema(), engine: engine, newRNG: rng.New(1)}
 
 	// New-carrier recommendation without a generator world: donor copy.
 	rec := httptest.NewRecorder()
@@ -595,18 +602,236 @@ func TestBatchSizeMetric(t *testing.T) {
 	}
 }
 
+// flushRecorder wraps a ResponseRecorder and records the body length at
+// every Flush call — the observable proof that NDJSON lines leave the
+// handler one at a time instead of with the final buffer.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes []int
+}
+
+func (f *flushRecorder) Flush() { f.flushes = append(f.flushes, f.Body.Len()) }
+
+// TestHandleRecommendNDJSON pins the streaming batch contract: with
+// "Accept: application/x-ndjson" the same batch answers as one compact
+// JSON object per line, byte-identical to the buffered form's entries,
+// flushed line by line in request order — and per-item failures ride
+// inline as {"error": ...} lines without terminating the stream.
+func TestHandleRecommendNDJSON(t *testing.T) {
+	s := testServer(t)
+	// Deterministic items only (no new-carrier synthesis, whose RNG draw
+	// would differ between the two requests), with failures mid-stream.
+	body := `[
+		{"carrier": 5},
+		{"carrier": 999999},
+		{"carrier": 3},
+		{},
+		{"carrier": 7, "pairwise": true}
+	]`
+
+	buffered := httptest.NewRecorder()
+	s.handleRecommend(buffered, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(body)))
+	if buffered.Code != http.StatusOK {
+		t.Fatalf("buffered status %d: %s", buffered.Code, buffered.Body.String())
+	}
+	var ref struct {
+		Results []batchEntry `json:"results"`
+	}
+	if err := json.Unmarshal(buffered.Body.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(body))
+	req.Header.Set("Accept", "application/x-ndjson")
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	s.handleRecommend(fr, req)
+	if fr.Code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", fr.Code, fr.Body.String())
+	}
+	if ct := fr.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+
+	raw := fr.Body.String()
+	if !strings.HasSuffix(raw, "\n") {
+		t.Fatal("stream does not end with a newline")
+	}
+	lines := strings.Split(strings.TrimSuffix(raw, "\n"), "\n")
+	if len(lines) != len(ref.Results) {
+		t.Fatalf("stream has %d lines, buffered response %d entries", len(lines), len(ref.Results))
+	}
+
+	// Byte identity: every line is the compact encoding of the buffered
+	// form's entry at the same position.
+	for i, line := range lines {
+		want, err := json.Marshal(&ref.Results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != string(want) {
+			t.Errorf("line %d = %s\nwant   %s", i, line, want)
+		}
+	}
+
+	// Mid-stream failures stayed inline and did not kill their siblings.
+	var streamed []batchEntry
+	for _, line := range lines {
+		var e batchEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		streamed = append(streamed, e)
+	}
+	for _, i := range []int{0, 2, 4} {
+		if streamed[i].Error != "" || len(streamed[i].Recommendations) == 0 {
+			t.Errorf("item %d: error=%q recs=%d, want recommendations", i, streamed[i].Error, len(streamed[i].Recommendations))
+		}
+	}
+	if streamed[1].Error != "unknown carrier" {
+		t.Errorf("item 1 error = %q, want unknown carrier", streamed[1].Error)
+	}
+	if streamed[3].Error != "specify carrier or enodeb" {
+		t.Errorf("item 3 error = %q", streamed[3].Error)
+	}
+
+	// Flush discipline: one flush per line, each flush boundary a full
+	// line, and the first line flushed long before the body completed.
+	if len(fr.flushes) != len(lines) {
+		t.Fatalf("%d flushes for %d lines, want one flush per line", len(fr.flushes), len(lines))
+	}
+	for i, off := range fr.flushes {
+		if off == 0 || raw[off-1] != '\n' {
+			t.Errorf("flush %d at offset %d does not end on a line boundary", i, off)
+		}
+		if i > 0 && off <= fr.flushes[i-1] {
+			t.Errorf("flush %d offset %d did not advance past %d", i, off, fr.flushes[i-1])
+		}
+	}
+	if fr.flushes[0] >= len(raw) {
+		t.Error("first line was not flushed before the stream completed")
+	}
+}
+
+// TestMuxNDJSONThroughStack runs the streaming form through the full
+// middleware stack (metrics, tracing): the Flusher must survive the
+// response-writer wrappers so lines reach the transport incrementally.
+func TestMuxNDJSONThroughStack(t *testing.T) {
+	h, _ := testHandler(t)
+	req := httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(`[{"carrier": 1}, {"carrier": 2}]`))
+	req.Header.Set("Accept", "application/x-ndjson")
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(fr, req)
+	if fr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", fr.Code, fr.Body.String())
+	}
+	if lines := strings.Count(fr.Body.String(), "\n"); lines != 2 {
+		t.Fatalf("stream has %d lines, want 2", lines)
+	}
+	if len(fr.flushes) != 2 {
+		t.Errorf("%d flushes reached the recorder through the middleware stack, want 2", len(fr.flushes))
+	}
+}
+
+// TestHandleReloadAndShards drives the zero-downtime reload endpoint and
+// the shard-layout view: POST /v1/reload advances the generation, GET
+// /v1/shards reports the new generation with every carrier accounted to a
+// market shard, and serving keeps answering afterwards.
+func TestHandleReloadAndShards(t *testing.T) {
+	h, _ := testHandler(t)
+
+	rec := do(h, "POST", "/v1/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	var reload struct {
+		Generation int64   `json:"generation"`
+		Carriers   int     `json:"carriers"`
+		Seconds    float64 `json:"seconds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reload); err != nil {
+		t.Fatal(err)
+	}
+	if reload.Generation != 2 {
+		t.Errorf("generation after one reload = %d, want 2", reload.Generation)
+	}
+	if reload.Carriers == 0 || reload.Seconds <= 0 {
+		t.Errorf("reload response %+v lacks carriers/seconds", reload)
+	}
+
+	rec = do(h, "GET", "/v1/shards", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shards status %d: %s", rec.Code, rec.Body.String())
+	}
+	var shards struct {
+		Generation int64 `json:"generation"`
+		Shards     []struct {
+			Market   int    `json:"market"`
+			Name     string `json:"name"`
+			Carriers int    `json:"carriers"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &shards); err != nil {
+		t.Fatal(err)
+	}
+	if shards.Generation != reload.Generation {
+		t.Errorf("shards generation %d != reload generation %d", shards.Generation, reload.Generation)
+	}
+	sum := 0
+	for _, sh := range shards.Shards {
+		if sh.Name == "" {
+			t.Errorf("shard %d has no market name", sh.Market)
+		}
+		sum += sh.Carriers
+	}
+	if sum != reload.Carriers {
+		t.Errorf("shard carriers sum to %d, want %d", sum, reload.Carriers)
+	}
+
+	if rec := do(h, "POST", "/v1/recommend", `{"carrier": 5}`); rec.Code != http.StatusOK {
+		t.Fatalf("recommend after reload: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHandleReloadFailure pins the failure contract: a snapshot source
+// error answers 500 and leaves the serving generation untouched.
+func TestHandleReloadFailure(t *testing.T) {
+	s := testServer(t)
+	gen := s.engine.Generation()
+	s.source = func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
+		return nil, nil, nil, errors.New("snapshot store unreachable")
+	}
+	rec := httptest.NewRecorder()
+	s.handleReload(rec, httptest.NewRequest("POST", "/v1/reload", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("reload status %d, want 500", rec.Code)
+	}
+	if g := s.engine.Generation(); g != gen {
+		t.Errorf("failed reload moved the generation from %d to %d", gen, g)
+	}
+	if r := httptest.NewRecorder(); true {
+		s.handleRecommend(r, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(`{"carrier": 5}`)))
+		if r.Code != http.StatusOK {
+			t.Errorf("serving broken after failed reload: %d %s", r.Code, r.Body.String())
+		}
+	}
+}
+
 // Concurrent new-carrier requests share the server's synthesis RNG; the
 // tight loop exists so `go test -race` gates the lock around it (the
 // full HTTP path spends too little time in the draw to interleave).
 func TestConcurrentNewCarrierRecommends(t *testing.T) {
 	s := testServer(t)
+	network, _, _, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 200; j++ {
-				if c := s.newCarrierAt(2); c == nil {
+				if c := s.newCarrierAt(network, 2); c == nil {
 					t.Error("newCarrierAt returned nil")
 					return
 				}

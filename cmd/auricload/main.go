@@ -1,0 +1,355 @@
+// Command auricload is the standing performance harness of the serving
+// path: it drives sustained recommendation load against a sharded
+// multi-market engine and reports throughput and latency quantiles as a
+// JSON document — the artifact EXPERIMENTS.md quotes and `make check`
+// gates on.
+//
+// By default the load runs in process: a netsim snapshot is generated,
+// a ShardedEngine trains one shard per market, and worker goroutines
+// issue single or batched recommendation requests against it for the
+// configured duration. This measures the full serving data path (shard
+// routing, generation pinning, engine fan-out, per-item assembly) without
+// HTTP noise, so the numbers are stable enough to gate a build on. With
+// -target the same workers instead POST /v1/recommend to a live auricd,
+// measuring the end-to-end HTTP path.
+//
+// -reloads N swaps the snapshot N times while the load runs, proving the
+// zero-downtime property under fire: with -max-failures 0 (the default)
+// any request failing during a swap fails the run.
+//
+// Latency is recorded into an internal/obs histogram and the report's
+// p50/p90/p99 come from Histogram.Quantile — the same estimator the
+// /metrics consumers apply, so harness numbers and production dashboards
+// read on one scale.
+//
+//	auricload -markets 4 -enbs 12 -duration 5s -batch 16 -reloads 2
+//	auricload -target http://127.0.0.1:8400 -duration 10s
+//
+// The report goes to stdout (or -report FILE). Exit status is non-zero
+// when -min-rps or -max-failures is violated, which is what makes the
+// harness a gate rather than a dashboard.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auric"
+	"auric/internal/obs"
+)
+
+type options struct {
+	seed    uint64
+	markets int
+	enbs    int
+
+	duration time.Duration
+	workers  int
+	batch    int
+	pairwise bool
+	reloads  int
+
+	engineWorkers int
+	target        string
+
+	minRPS      float64
+	minCPS      float64
+	maxFailures int64
+}
+
+// report is the JSON document auricload emits; field names are the
+// contract EXPERIMENTS.md and scripts/load_smoke.sh parse.
+type report struct {
+	Mode            string  `json:"mode"` // "inprocess" or "http"
+	Seed            uint64  `json:"seed,omitempty"`
+	Markets         int     `json:"markets,omitempty"`
+	Carriers        int     `json:"carriers,omitempty"`
+	Workers         int     `json:"workers"`
+	Batch           int     `json:"batch"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	Requests        int64   `json:"requests"`
+	CarriersServed  int64   `json:"carriersServed"`
+	Failures        int64   `json:"failures"`
+	Reloads         int     `json:"reloads"`
+	RPS             float64 `json:"rps"` // requests per second
+	CarriersPerSec  float64 `json:"carriersPerSec"`
+	Latency         latency `json:"latencySeconds"`
+}
+
+type latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+}
+
+func main() {
+	var o options
+	flag.Uint64Var(&o.seed, "seed", 1, "netsim snapshot seed (in-process mode)")
+	flag.IntVar(&o.markets, "markets", 4, "netsim markets (in-process mode)")
+	flag.IntVar(&o.enbs, "enbs", 10, "eNodeBs per market (in-process mode)")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "load duration")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent load workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.batch, "batch", 1, "carriers per request (>1 uses the batch path)")
+	flag.BoolVar(&o.pairwise, "pairwise", false, "request pair-wise recommendations too")
+	flag.IntVar(&o.reloads, "reloads", 0, "snapshot reloads performed while the load runs")
+	flag.IntVar(&o.engineWorkers, "engine-workers", 1, "per-shard engine worker pool (keep 1: the load workers provide the parallelism)")
+	flag.StringVar(&o.target, "target", "", "drive a live auricd at this base URL instead of in-process")
+	flag.Float64Var(&o.minRPS, "min-rps", 0, "fail the run below this request rate (0 disables)")
+	flag.Float64Var(&o.minCPS, "min-cps", 0, "fail the run below this many carriers served per second (0 disables; the batch-mode throughput gate)")
+	flag.Int64Var(&o.maxFailures, "max-failures", 0, "fail the run above this many failed requests (-1 disables)")
+	reportPath := flag.String("report", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	rep, err := run(&o)
+	if err != nil {
+		log.Fatalf("auricload: %v", err)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("auricload: encoding report: %v", err)
+	}
+	out = append(out, '\n')
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, out, 0o644); err != nil {
+			log.Fatalf("auricload: %v", err)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	if o.minRPS > 0 && rep.RPS < o.minRPS {
+		log.Fatalf("auricload: %.0f req/s is below the -min-rps gate of %.0f", rep.RPS, o.minRPS)
+	}
+	if o.minCPS > 0 && rep.CarriersPerSec < o.minCPS {
+		log.Fatalf("auricload: %.0f carriers/s is below the -min-cps gate of %.0f", rep.CarriersPerSec, o.minCPS)
+	}
+	if o.maxFailures >= 0 && rep.Failures > o.maxFailures {
+		log.Fatalf("auricload: %d failed requests exceed the -max-failures gate of %d", rep.Failures, o.maxFailures)
+	}
+}
+
+func run(o *options) (*report, error) {
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
+	}
+	if o.batch < 1 {
+		o.batch = 1
+	}
+	if o.duration <= 0 {
+		return nil, fmt.Errorf("duration %v is not positive", o.duration)
+	}
+	if o.target != "" {
+		return runHTTP(o)
+	}
+	return runInProcess(o)
+}
+
+// runInProcess measures the engine serving path: shard routing,
+// generation pinning and recommendation fan-out, with optional snapshot
+// swaps racing the load.
+func runInProcess(o *options) (*report, error) {
+	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: o.seed, Markets: o.markets, ENodeBsPerMarket: o.enbs})
+	engine := auric.NewShardedEngine(w.Schema, auric.EngineOptions{Local: true, Workers: o.engineWorkers})
+	if _, err := engine.Load(w.Net, w.X2, w.Current); err != nil {
+		return nil, err
+	}
+	hist := obs.New().Histogram("auricload_request_seconds",
+		"Latency per recommendation request issued by auricload.", obs.DefBuckets)
+
+	var requests, carriers, failures atomic.Int64
+	deadline := time.Now().Add(o.duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for g := 0; g < o.workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			n := len(w.Net.Carriers)
+			for i := g; time.Now().Before(deadline); i += o.batch {
+				t0 := time.Now()
+				if o.batch == 1 {
+					c := &w.Net.Carriers[i%n]
+					var neighbors []auric.CarrierID
+					if o.pairwise {
+						neighbors = w.X2.CarrierNeighbors(c.ID)
+					}
+					recs, err := engine.Recommend(c, neighbors)
+					if err != nil || len(recs) == 0 {
+						failures.Add(1)
+					}
+					carriers.Add(1)
+				} else {
+					items := make([]auric.BatchItem, o.batch)
+					for j := range items {
+						c := &w.Net.Carriers[(i+j)%n]
+						items[j] = auric.BatchItem{Carrier: c}
+						if o.pairwise {
+							items[j].Neighbors = w.X2.CarrierNeighbors(c.ID)
+						}
+					}
+					res, err := engine.RecommendBatch(ctx, items)
+					if err != nil {
+						failures.Add(int64(o.batch))
+					} else {
+						for _, r := range res {
+							if r.Err != nil || len(r.Recommendations) == 0 {
+								failures.Add(1)
+							}
+						}
+					}
+					carriers.Add(int64(o.batch))
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				requests.Add(1)
+			}
+		}(g)
+	}
+
+	// The reloader swaps the serving snapshot at even intervals across
+	// the run; with -max-failures 0 any request it breaks fails the gate.
+	reloadErr := make(chan error, 1)
+	go func() {
+		defer close(reloadErr)
+		if o.reloads <= 0 {
+			return
+		}
+		interval := o.duration / time.Duration(o.reloads+1)
+		for i := 0; i < o.reloads; i++ {
+			time.Sleep(interval)
+			if _, err := engine.Load(w.Net, w.X2, w.Current); err != nil {
+				reloadErr <- fmt.Errorf("reload %d: %w", i+1, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := <-reloadErr; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Mode: "inprocess", Seed: o.seed, Markets: o.markets,
+		Carriers: len(w.Net.Carriers), Workers: o.workers, Batch: o.batch,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        requests.Load(),
+		CarriersServed:  carriers.Load(),
+		Failures:        failures.Load(),
+		Reloads:         o.reloads,
+	}
+	fill(rep, hist, elapsed)
+	return rep, nil
+}
+
+// runHTTP drives a live auricd's POST /v1/recommend, measuring the
+// end-to-end HTTP path. Failures are transport errors and non-200s.
+func runHTTP(o *options) (*report, error) {
+	base := strings.TrimSuffix(o.target, "/")
+	// Probe the target and learn the carrier count to spread load over.
+	resp, err := http.Get(base + "/v1/network")
+	if err != nil {
+		return nil, err
+	}
+	var net struct {
+		Carriers int `json:"carriers"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&net)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("probing %s: %w", base, err)
+	}
+	if net.Carriers == 0 {
+		return nil, fmt.Errorf("target %s reports no carriers", base)
+	}
+	hist := obs.New().Histogram("auricload_request_seconds",
+		"Latency per recommendation request issued by auricload.", obs.DefBuckets)
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var requests, carriers, failures atomic.Int64
+	deadline := time.Now().Add(o.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < o.workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; time.Now().Before(deadline); i += o.batch {
+				body := requestBody(o, i, net.Carriers)
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/recommend", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+				} else {
+					if resp.StatusCode != http.StatusOK {
+						failures.Add(1)
+					}
+					resp.Body.Close()
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				requests.Add(1)
+				carriers.Add(int64(o.batch))
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Mode: "http", Workers: o.workers, Batch: o.batch,
+		Carriers:        net.Carriers,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        requests.Load(),
+		CarriersServed:  carriers.Load(),
+		Failures:        failures.Load(),
+	}
+	fill(rep, hist, elapsed)
+	return rep, nil
+}
+
+// requestBody builds the i-th request: a single object for batch 1, an
+// array of batch carrier objects otherwise.
+func requestBody(o *options, i, carriers int) []byte {
+	one := func(id int) string {
+		if o.pairwise {
+			return fmt.Sprintf(`{"carrier": %d, "pairwise": true}`, id)
+		}
+		return fmt.Sprintf(`{"carrier": %d}`, id)
+	}
+	if o.batch == 1 {
+		return []byte(one(i % carriers))
+	}
+	parts := make([]string, o.batch)
+	for j := range parts {
+		parts[j] = one((i + j) % carriers)
+	}
+	return []byte("[" + strings.Join(parts, ",") + "]")
+}
+
+func fill(rep *report, hist *obs.Histogram, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		rep.RPS = float64(rep.Requests) / secs
+		rep.CarriersPerSec = float64(rep.CarriersServed) / secs
+	}
+	rep.Latency = latency{
+		P50: hist.Quantile(0.5),
+		P90: hist.Quantile(0.9),
+		P99: hist.Quantile(0.99),
+	}
+	if n := hist.Count(); n > 0 {
+		rep.Latency.Mean = hist.Sum() / float64(n)
+	}
+}

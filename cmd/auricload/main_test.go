@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRunInProcess drives a short in-process load with a mid-run snapshot
+// reload: the report must show traffic, zero failures (the zero-downtime
+// property under fire), and coherent latency quantiles.
+func TestRunInProcess(t *testing.T) {
+	o := &options{
+		seed: 7, markets: 2, enbs: 4,
+		duration: 400 * time.Millisecond,
+		workers:  2, batch: 4, reloads: 1,
+		engineWorkers: 1, maxFailures: 0,
+	}
+	rep, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "inprocess" {
+		t.Errorf("mode %q", rep.Mode)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("%d of %d requests failed during reload, want 0", rep.Failures, rep.Requests)
+	}
+	if rep.CarriersServed != rep.Requests*int64(o.batch) {
+		t.Errorf("carriersServed %d != requests %d x batch %d", rep.CarriersServed, rep.Requests, o.batch)
+	}
+	if rep.RPS <= 0 || rep.CarriersPerSec < rep.RPS {
+		t.Errorf("rates rps=%g carriers/s=%g are incoherent", rep.RPS, rep.CarriersPerSec)
+	}
+	l := rep.Latency
+	if !(l.P50 > 0 && l.P50 <= l.P90 && l.P90 <= l.P99) {
+		t.Errorf("quantiles p50=%g p90=%g p99=%g are not monotone", l.P50, l.P90, l.P99)
+	}
+	if l.Mean <= 0 {
+		t.Errorf("mean latency %g", l.Mean)
+	}
+
+	// The report round-trips as the JSON contract load_smoke.sh parses.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || back.Latency.P99 != rep.Latency.P99 {
+		t.Errorf("report did not round-trip: %+v vs %+v", back, rep)
+	}
+}
+
+// TestRunHTTP points the harness at a stub auricd and checks both the
+// success accounting and that non-200 responses count as failures.
+func TestRunHTTP(t *testing.T) {
+	var status = http.StatusOK
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/network":
+			json.NewEncoder(rw).Encode(map[string]int{"carriers": 10})
+		case "/v1/recommend":
+			rw.WriteHeader(status)
+			rw.Write([]byte(`{}`))
+		default:
+			http.NotFound(rw, r)
+		}
+	}))
+	defer srv.Close()
+
+	o := &options{target: srv.URL, duration: 200 * time.Millisecond, workers: 2, batch: 2}
+	rep, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "http" || rep.Requests == 0 || rep.Failures != 0 {
+		t.Fatalf("report %+v, want http traffic with zero failures", rep)
+	}
+
+	status = http.StatusInternalServerError
+	rep, err = run(&options{target: srv.URL, duration: 100 * time.Millisecond, workers: 1, batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != rep.Requests {
+		t.Errorf("5xx run: failures %d != requests %d", rep.Failures, rep.Requests)
+	}
+}
+
+// TestRequestBody pins both request shapes to valid auricd request JSON.
+func TestRequestBody(t *testing.T) {
+	single := requestBody(&options{batch: 1}, 3, 10)
+	var obj map[string]any
+	if err := json.Unmarshal(single, &obj); err != nil {
+		t.Fatalf("single body %s: %v", single, err)
+	}
+	if obj["carrier"].(float64) != 3 {
+		t.Errorf("single body %s", single)
+	}
+	batch := requestBody(&options{batch: 3, pairwise: true}, 8, 10)
+	var arr []map[string]any
+	if err := json.Unmarshal(batch, &arr); err != nil {
+		t.Fatalf("batch body %s: %v", batch, err)
+	}
+	if len(arr) != 3 || arr[0]["carrier"].(float64) != 8 || arr[1]["carrier"].(float64) != 9 ||
+		arr[2]["carrier"].(float64) != 0 || arr[2]["pairwise"] != true {
+		t.Errorf("batch body %s", batch)
+	}
+}
+
+func TestRunRejectsBadDuration(t *testing.T) {
+	if _, err := run(&options{duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -53,6 +53,10 @@ type Options struct {
 	// vendor — the paper formulates the problem independently per vendor
 	// (Sec 2.2).
 	Vendor string
+	// Keep, when non-nil, restricts training to carriers it admits; it
+	// composes with Vendor (both must pass). ShardedEngine uses it to
+	// carve one training partition per market.
+	Keep dataset.Filter
 	// MaxSamples caps the training rows per parameter (0 = unlimited);
 	// subsampling is deterministic per parameter.
 	MaxSamples int
@@ -100,10 +104,12 @@ func (e *Engine) LearnerName() string { return e.opts.Learner.Name() }
 func (e *Engine) Train(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) error {
 	defer obs.Since(trainSeconds, time.Now())
 	e.net, e.x2 = net, x2
-	var keep dataset.Filter
+	keep := e.opts.Keep
 	if e.opts.Vendor != "" {
-		vendor := e.opts.Vendor
-		keep = func(id lte.CarrierID) bool { return net.Carriers[id].Vendor == vendor }
+		vendor, base := e.opts.Vendor, keep
+		keep = func(id lte.CarrierID) bool {
+			return net.Carriers[id].Vendor == vendor && (base == nil || base(id))
+		}
 	}
 	b := dataset.NewBuilder(net, x2, keep)
 	models := make([]learn.Model, e.schema.Len())
@@ -291,6 +297,7 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 		scoped   bool
 		firstJob int
 		numJobs  int
+		err      error
 	}
 	type job struct {
 		item     int
@@ -335,6 +342,13 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 			jobs = append(jobs, job{ii, pi, attrs, sCodes, -1})
 		}
 		for _, nb := range items[ii].Neighbors {
+			// A neighbor id outside the trained inventory (possible when a
+			// caller mixes ids across snapshot generations) is an item
+			// error, not a panic.
+			if nb < 0 || int(nb) >= len(e.net.Carriers) {
+				st.err = fmt.Errorf("core: neighbor %d outside the %d trained carriers", nb, len(e.net.Carriers))
+				break
+			}
 			pairAttrs := lte.PairAttributeVector(c, &e.net.Carriers[nb])
 			var pCodes []int32
 			if pRep != nil {
@@ -389,8 +403,8 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 	results := make([]BatchResult, len(items))
 	for ii := range items {
 		st := &states[ii]
-		var err error
-		for i := st.firstJob; i < st.firstJob+st.numJobs; i++ {
+		err := st.err
+		for i := st.firstJob; err == nil && i < st.firstJob+st.numJobs; i++ {
 			if errs[i] != nil {
 				err = errs[i]
 				break

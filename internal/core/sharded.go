@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auric/internal/geo"
+	"auric/internal/lte"
+	"auric/internal/obs"
+	"auric/internal/paramspec"
+)
+
+// Shard-lifecycle metrics: load/swap cadence and the serving generation,
+// the operator's view of zero-downtime reloads (OPERATIONS.md).
+var (
+	shardLoadSeconds = obs.Default().Histogram("auric_shard_load_seconds",
+		"Wall-clock seconds per ShardedEngine.Load call (all market shards trained + swapped).", obs.DefBuckets)
+	shardSwapsTotal = obs.Default().Counter("auric_shard_swaps_total",
+		"Snapshot generations installed by ShardedEngine.Load.")
+	shardGeneration = obs.Default().Gauge("auric_shard_generation",
+		"Snapshot generation currently serving (increments on every reload).")
+	shardCount = obs.Default().Gauge("auric_shard_engines",
+		"Market shards (trained engines) in the serving generation.")
+)
+
+// streamAhead bounds how many stream chunks recommend concurrently ahead
+// of the emitter. Chunks launch lazily in emission order, so at most
+// streamAhead chunks are in flight and everything further back has not
+// started — the property that lets NDJSON lines leave the server while
+// the tail of a large batch is still uncomputed.
+const streamAhead = 4
+
+// defaultStreamChunk is the RecommendStream chunk size when the caller
+// passes zero: large enough to amortize the per-batch encoding setup,
+// small enough that the first line of a big sweep flushes early.
+const defaultStreamChunk = 64
+
+// ShardedEngine serves recommendations from one Engine per market — the
+// deployment shape of the paper's 400K-carrier, 28-market network. Each
+// shard trains only on its market's carriers (Options.Keep partition), so
+// shard model state is a fraction of a monolithic engine's and markets
+// reload independently of each other's traffic.
+//
+// Serving state is immutable once installed: Load trains a full shard set
+// in the background, swaps one atomic pointer, and waits for requests on
+// the previous generation to drain. Requests acquire the current state
+// once and use it end to end, so a swap mid-request is invisible — there
+// are no torn reads and no downtime.
+type ShardedEngine struct {
+	schema *paramspec.Schema
+	opts   Options
+	gen    atomic.Int64
+	state  atomic.Pointer[shardState]
+	// loadMu serializes Load calls; the serving path never takes it.
+	loadMu sync.Mutex
+}
+
+// shardState is one immutable serving generation: the snapshot inventory
+// and its trained per-market engines, plus the drain bookkeeping.
+type shardState struct {
+	gen    int64
+	net    *lte.Network
+	x2     *geo.Graph
+	shards []*Engine // indexed by market id; nil for carrier-less markets
+	// refs counts the installed reference (1) plus every in-flight
+	// request; when it reaches zero after retirement the generation is
+	// drained.
+	refs      atomic.Int64
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+func (st *shardState) release() {
+	if st.refs.Add(-1) == 0 {
+		st.drainOnce.Do(func() { close(st.drained) })
+	}
+}
+
+// NewSharded creates an empty sharded engine over the schema. opts apply
+// to every shard; Options.Keep, when set, composes with each shard's
+// market partition. Call Load before serving.
+func NewSharded(schema *paramspec.Schema, opts Options) *ShardedEngine {
+	return &ShardedEngine{schema: schema, opts: opts}
+}
+
+// Schema returns the engine's parameter schema.
+func (se *ShardedEngine) Schema() *paramspec.Schema { return se.schema }
+
+// Load trains one engine per market of the snapshot and installs the
+// shard set atomically: requests arriving after Load returns (and any
+// arriving after the internal swap) serve from the new generation, while
+// requests already in flight finish on the old one. Load returns the new
+// generation number once the previous generation has fully drained, so a
+// successful return means no request is still reading retired state. On
+// error the serving state is untouched.
+func (se *ShardedEngine) Load(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) (int64, error) {
+	se.loadMu.Lock()
+	defer se.loadMu.Unlock()
+	defer obs.Since(shardLoadSeconds, time.Now())
+	st := &shardState{gen: se.gen.Load() + 1, net: net, x2: x2, drained: make(chan struct{})}
+	st.refs.Store(1)
+	st.shards = make([]*Engine, len(net.Markets))
+	carriers := make([]int, len(net.Markets))
+	for i := range net.Carriers {
+		if m := net.Carriers[i].Market; m >= 0 && m < len(carriers) {
+			carriers[m]++
+		}
+	}
+	trained := 0
+	for m := range net.Markets {
+		if carriers[m] == 0 {
+			continue
+		}
+		opts := se.opts
+		base, market := se.opts.Keep, m
+		opts.Keep = func(id lte.CarrierID) bool {
+			return net.Carriers[id].Market == market && (base == nil || base(id))
+		}
+		eng := New(se.schema, opts)
+		if err := eng.Train(net, x2, cfg); err != nil {
+			return 0, fmt.Errorf("core: training shard for market %d: %w", m, err)
+		}
+		st.shards[m] = eng
+		trained++
+	}
+	if trained == 0 {
+		return 0, fmt.Errorf("core: snapshot has no carriers in any of its %d markets", len(net.Markets))
+	}
+	se.gen.Store(st.gen)
+	old := se.state.Swap(st)
+	shardSwapsTotal.Inc()
+	shardGeneration.Set(float64(st.gen))
+	shardCount.Set(float64(trained))
+	if old != nil {
+		old.release() // drop the installed reference; in-flight requests hold theirs
+		<-old.drained
+	}
+	return st.gen, nil
+}
+
+// acquire pins the current serving generation. The retry loop closes the
+// race between loading the pointer and taking the reference: if the state
+// was swapped out (or even fully drained) in between, the stale reference
+// is dropped and the new state acquired instead.
+func (se *ShardedEngine) acquire() (*shardState, error) {
+	for {
+		st := se.state.Load()
+		if st == nil {
+			return nil, fmt.Errorf("core: sharded engine not loaded")
+		}
+		if st.refs.Add(1) <= 1 {
+			// The generation retired and drained before our Add landed;
+			// undo it without re-closing the drain channel.
+			st.refs.Add(-1)
+			continue
+		}
+		if se.state.Load() == st {
+			return st, nil
+		}
+		st.release()
+	}
+}
+
+// Generation reports the serving snapshot generation (0 before Load).
+func (se *ShardedEngine) Generation() int64 { return se.gen.Load() }
+
+// Inventory returns the serving snapshot's network, X2 graph and
+// generation. The returned structures are immutable serving state; they
+// stay valid after a reload (the reload swaps in new ones).
+func (se *ShardedEngine) Inventory() (*lte.Network, *geo.Graph, int64, error) {
+	st, err := se.acquire()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer st.release()
+	return st.net, st.x2, st.gen, nil
+}
+
+// ShardSize reports the carriers served by each market shard in the
+// current generation, indexed by market id (0 for untrained markets).
+func (se *ShardedEngine) ShardSizes() ([]int, error) {
+	st, err := se.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer st.release()
+	sizes := make([]int, len(st.shards))
+	for i := range st.net.Carriers {
+		if m := st.net.Carriers[i].Market; m >= 0 && m < len(sizes) && st.shards[m] != nil {
+			sizes[m]++
+		}
+	}
+	return sizes, nil
+}
+
+// shardFor routes one carrier to its market's engine.
+func (st *shardState) shardFor(c *lte.Carrier) (*Engine, error) {
+	m := c.Market
+	if m < 0 || m >= len(st.shards) {
+		return nil, fmt.Errorf("core: carrier %d references market %d outside the %d loaded shards", c.ID, m, len(st.shards))
+	}
+	if st.shards[m] == nil {
+		return nil, fmt.Errorf("core: market %d has no trained shard", m)
+	}
+	return st.shards[m], nil
+}
+
+// Recommend routes one carrier's recommendation to its market shard.
+func (se *ShardedEngine) Recommend(c *lte.Carrier, neighbors []lte.CarrierID) ([]Recommendation, error) {
+	return se.RecommendContext(context.Background(), c, neighbors)
+}
+
+// RecommendContext routes one carrier to its market shard, pinning the
+// serving generation for the duration of the call.
+func (se *ShardedEngine) RecommendContext(ctx context.Context, c *lte.Carrier, neighbors []lte.CarrierID) ([]Recommendation, error) {
+	st, err := se.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer st.release()
+	eng, err := st.shardFor(c)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RecommendContext(ctx, c, neighbors)
+}
+
+// RecommendBatch answers a multi-market batch in one generation: items
+// group by market, each market's sub-batch runs as one Engine fan-out,
+// and the markets recommend concurrently. Every item's result lands in
+// its request-order slot; routing failures (unknown market, untrained
+// shard) are per-item errors, exactly like engine item errors.
+func (se *ShardedEngine) RecommendBatch(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	st, err := se.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer st.release()
+	results := make([]BatchResult, len(items))
+	groups := make(map[int][]int)
+	var markets []int
+	for i := range items {
+		if _, err := st.shardFor(items[i].Carrier); err != nil {
+			results[i].Err = err
+			continue
+		}
+		m := items[i].Carrier.Market
+		if _, seen := groups[m]; !seen {
+			markets = append(markets, m)
+		}
+		groups[m] = append(groups[m], i)
+	}
+	var wg sync.WaitGroup
+	for _, m := range markets {
+		idx := groups[m]
+		sub := make([]BatchItem, len(idx))
+		for j, i := range idx {
+			sub[j] = items[i]
+		}
+		wg.Add(1)
+		go func(eng *Engine, sub []BatchItem, idx []int) {
+			defer wg.Done()
+			res, err := eng.RecommendBatch(ctx, sub)
+			for j, i := range idx {
+				if err != nil {
+					results[i].Err = err
+					continue
+				}
+				results[i] = res[j]
+			}
+		}(st.shards[m], sub, idx)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// RecommendStream recommends for items and emits each result through emit
+// in strict request order as it becomes available, without waiting for
+// the whole batch — the engine side of NDJSON batch streaming. Items are
+// planned into per-market chunks of chunk items (0 means the default
+// chunk size); chunks launch lazily, at most streamAhead in flight, so
+// early results emit while the tail of a 10K-carrier sweep has not even
+// started. emit runs on the calling goroutine; a slow consumer simply
+// slows the launch window down (backpressure), it never reorders output.
+func (se *ShardedEngine) RecommendStream(ctx context.Context, items []BatchItem, chunk int, emit func(i int, res BatchResult)) error {
+	if chunk <= 0 {
+		chunk = defaultStreamChunk
+	}
+	st, err := se.acquire()
+	if err != nil {
+		return err
+	}
+	defer st.release()
+
+	type chunkT struct {
+		eng  *Engine
+		idx  []int
+		done chan struct{}
+	}
+	results := make([]BatchResult, len(items))
+	chunkOf := make([]*chunkT, len(items))
+	var chunks []*chunkT
+	open := make(map[int]*chunkT)
+	for i := range items {
+		eng, err := st.shardFor(items[i].Carrier)
+		if err != nil {
+			results[i].Err = err // emitted in order with the rest
+			continue
+		}
+		m := items[i].Carrier.Market
+		c := open[m]
+		if c == nil || len(c.idx) >= chunk {
+			c = &chunkT{eng: eng, done: make(chan struct{})}
+			open[m] = c
+			chunks = append(chunks, c)
+		}
+		c.idx = append(c.idx, i)
+		chunkOf[i] = c
+	}
+
+	// Launcher: start chunks in planning order, never more than
+	// streamAhead in flight. Acquiring the slot before the goroutine
+	// starts keeps the launch order deterministic.
+	sem := make(chan struct{}, streamAhead)
+	go func() {
+		for _, c := range chunks {
+			sem <- struct{}{}
+			go func(c *chunkT) {
+				defer func() { <-sem }()
+				defer close(c.done)
+				sub := make([]BatchItem, len(c.idx))
+				for j, i := range c.idx {
+					sub[j] = items[i]
+				}
+				res, err := c.eng.RecommendBatch(ctx, sub)
+				for j, i := range c.idx {
+					if err != nil {
+						results[i].Err = err
+						continue
+					}
+					results[i] = res[j]
+				}
+			}(c)
+		}
+	}()
+
+	// Emitter: strict request order, each item as soon as its chunk lands.
+	for i := range items {
+		if c := chunkOf[i]; c != nil {
+			<-c.done
+		}
+		emit(i, results[i])
+	}
+	return nil
+}

@@ -68,12 +68,21 @@ func AccessLog(l *log.Logger, next http.Handler) http.Handler {
 }
 
 // statusRecorder captures the status code and body size a handler wrote.
-// auricd's handlers write plain JSON bodies, so the wrapper does not
-// forward the optional Flusher/Hijacker interfaces.
+// It forwards Flush so NDJSON batch streaming can push each line to the
+// client as it completes; Hijacker is deliberately not forwarded (no
+// handler upgrades the connection).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+}
+
+// Flush forwards to the underlying Flusher, if any. Streaming handlers
+// flush per NDJSON line; buffered handlers never call it.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *statusRecorder) WriteHeader(code int) {

@@ -304,6 +304,40 @@ func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-th quantile (0..1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank-q observation — the same estimate Prometheus computes server-side
+// with histogram_quantile. It returns NaN for an empty histogram;
+// observations in the +Inf bucket clamp to the highest finite bound
+// (they are known only to exceed it). The walk reads racing bucket
+// counters without a lock, so under concurrent Observe traffic the
+// result is an approximation over a near-instantaneous snapshot — fine
+// for the load-report and scrape paths it serves.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := float64(h.count.Load())
+	if total == 0 || math.IsNaN(q) || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * total
+	seen := 0.0
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if seen+n >= rank && n > 0 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*((rank-seen)/n)
+		}
+		seen += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -175,5 +176,39 @@ func TestSince(t *testing.T) {
 	Since(h, time.Now().Add(-10*time.Millisecond))
 	if h.Count() != 1 || h.Sum() < 0.009 {
 		t.Fatalf("count=%d sum=%g after 10ms observation", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramQuantile pins the interpolation estimate auricload's
+// latency report is built on: exact mid-bucket interpolation, the empty
+// histogram's NaN, and the +Inf bucket's clamp to the top finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	h := New().Histogram("q_seconds", "", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+	// 10 observations in (1,2], 10 in (2,4]: the median sits at the
+	// boundary and interpolation is linear within each bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %g, want 2 (upper bound of the first occupied bucket)", got)
+	}
+	if got := h.Quantile(0.25); got != 1.5 {
+		t.Errorf("p25 = %g, want 1.5 (halfway through bucket (1,2])", got)
+	}
+	if got := h.Quantile(0.75); got != 3 {
+		t.Errorf("p75 = %g, want 3 (halfway through bucket (2,4])", got)
+	}
+	// An observation beyond every bound lands in +Inf and clamps.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %g, want clamp to 4", got)
+	}
+	// Out-of-range q values clamp instead of exploding.
+	if got := h.Quantile(-1); math.IsNaN(got) {
+		t.Error("q=-1 returned NaN, want clamp to minimum")
 	}
 }

@@ -181,24 +181,52 @@ type Schema struct {
 	byName map[string]int
 }
 
+// Validate reports whether params form a usable schema: every parameter
+// named, names unique, and each grid finite with Step > 0 and
+// Max >= Min. It is the error-returning twin of NewSchema for untrusted
+// inputs such as snapshot files — NewSchema panics, which is right for
+// the compiled-in default schema and wrong for bytes off a disk. The
+// finiteness check matters: NaN compares false against everything, so a
+// NaN Step would sail through the Step <= 0 guard and break every grid
+// computation downstream.
+func Validate(params []Param) error {
+	seen := make(map[string]struct{}, len(params))
+	for _, p := range params {
+		if p.Name == "" {
+			return fmt.Errorf("paramspec: parameter with empty name")
+		}
+		if p.Kind != Singular && p.Kind != PairWise {
+			return fmt.Errorf("paramspec: parameter %s has unknown kind %d", p.Name, p.Kind)
+		}
+		if isNonFinite(p.Min) || isNonFinite(p.Max) || isNonFinite(p.Step) {
+			return fmt.Errorf("paramspec: parameter %s has non-finite range [%v,%v] step %v", p.Name, p.Min, p.Max, p.Step)
+		}
+		if p.Step <= 0 || p.Max < p.Min {
+			return fmt.Errorf("paramspec: parameter %s has invalid range [%v,%v] step %v", p.Name, p.Min, p.Max, p.Step)
+		}
+		if _, dup := seen[p.Name]; dup {
+			return fmt.Errorf("paramspec: duplicate parameter %s", p.Name)
+		}
+		seen[p.Name] = struct{}{}
+	}
+	return nil
+}
+
+func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
 // NewSchema builds a schema from params. It panics on duplicate names or
-// invalid ranges, since schemas are package-level constants in practice.
+// invalid ranges, since schemas are package-level constants in practice;
+// untrusted inputs should call Validate first.
 func NewSchema(params []Param) *Schema {
+	if err := Validate(params); err != nil {
+		panic(err.Error())
+	}
 	s := &Schema{
 		params: make([]Param, len(params)),
 		byName: make(map[string]int, len(params)),
 	}
 	copy(s.params, params)
 	for i, p := range s.params {
-		if p.Name == "" {
-			panic("paramspec: parameter with empty name")
-		}
-		if p.Step <= 0 || p.Max < p.Min {
-			panic(fmt.Sprintf("paramspec: parameter %s has invalid range [%v,%v] step %v", p.Name, p.Min, p.Max, p.Step))
-		}
-		if _, dup := s.byName[p.Name]; dup {
-			panic(fmt.Sprintf("paramspec: duplicate parameter %s", p.Name))
-		}
 		s.byName[p.Name] = i
 	}
 	return s

@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"auric/internal/lte"
+	"auric/internal/paramspec"
+)
+
+// FuzzSnapshotRead throws arbitrary bytes at the snapshot reader. The
+// invariant is simple and absolute: Read must either return a valid
+// (network, config) pair or an error — never panic — because snapshots
+// are operator-supplied files and, since the sharded serving path
+// arrived, also the payload of every /v1/reload. The second half checks
+// the accepted side: anything Read admits must survive a Write/Read
+// round trip (Write may reject values JSON cannot carry, such as NaN
+// singular values, but it too must fail with an error, not a panic).
+//
+// The committed corpus (testdata/fuzz/FuzzSnapshotRead) pins the
+// historically interesting shapes: both file formats, a corrupt column
+// dictionary, a hostile schema block (the paramspec.NewSchema panic this
+// fuzz target forced into paramspec.Validate), and truncated JSON.
+func FuzzSnapshotRead(f *testing.F) {
+	// A real format-2 snapshot as the structural seed the mutator works
+	// from. Deliberately tiny (two carriers, two parameters, one edge,
+	// ~1 KB): seeding a full netsim world here (~55 KB) stalled the fuzz
+	// engine on small machines — every coverage-expanding derivative of a
+	// large seed is re-executed through input minimization, and at tens of
+	// kilobytes per input the minimizer ate the whole -fuzztime budget
+	// while the execs counter sat still. Small seed, same structure.
+	schema := paramspec.NewSchema([]paramspec.Param{
+		{Name: "s", Kind: paramspec.Singular, Min: 0, Max: 1, Step: 0.5},
+		{Name: "p", Kind: paramspec.PairWise, Min: 0, Max: 2, Step: 1},
+	})
+	net := &lte.Network{
+		Markets: []lte.Market{{ID: 0, Name: "m", Timezone: "Eastern"}},
+		ENodeBs: []lte.ENodeB{{ID: 0, Market: 0, Vendor: "v", Carriers: []lte.CarrierID{0, 1}}},
+		Carriers: []lte.Carrier{
+			{ID: 0, ENodeB: 0, Face: 0, Market: 0, Vendor: "v"},
+			{ID: 1, ENodeB: 0, Face: 1, Market: 0, Vendor: "v"},
+		},
+	}
+	if err := net.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	cfg := lte.NewConfig(schema, len(net.Carriers))
+	cfg.Set(0, 0, 0.5)
+	cfg.SetPair(0, 1, 1, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, net, cfg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":1,"schema":[{"name":"p","kind":0,"min":0,"max":1,"step":0.5}],"markets":[{"id":0,"name":"m"}],"enodebs":[],"carriers":[],"singular":[],"pairs":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, cfg, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: the only acceptable failure mode
+		}
+		var out bytes.Buffer
+		if err := Write(&out, net, cfg); err != nil {
+			return // unencodable values must also fail cleanly
+		}
+		if _, _, err := Read(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("accepted snapshot failed its Write/Read round trip: %v", err)
+		}
+	})
+}

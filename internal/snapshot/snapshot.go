@@ -267,6 +267,11 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 			Min: p.Min, Max: p.Max, Step: p.Step,
 		}
 	}
+	// A snapshot is untrusted input: validate instead of letting
+	// NewSchema panic on a corrupt or hostile schema block.
+	if err := paramspec.Validate(params); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
 	schema := paramspec.NewSchema(params)
 	carriers, enbVendor, err := readCarriers(&in)
 	if err != nil {

@@ -8,14 +8,15 @@
 # prose.
 #
 # Usage: scripts/bench_json.sh [cf-out.json [core-out.json]]
-# Env:   BENCHTIME (default 1s), COUNT (default 1), SHORT=1 to skip the
-#        near-paper "large" scale.
+# Env:   BENCHTIME (default 1s), COUNT (default 3; repeated runs per
+#        benchmark let benchcompare fold mean±spread and gate regressions
+#        statistically), SHORT=1 to skip the near-paper "large" scale.
 set -eu
 
 cf_out=${1:-BENCH_cf.json}
 core_out=${2:-BENCH_core.json}
 benchtime=${BENCHTIME:-1s}
-count=${COUNT:-1}
+count=${COUNT:-3}
 shortflag=""
 [ "${SHORT:-0}" = "1" ] && shortflag="-short"
 

@@ -4,21 +4,30 @@
 // shown as old -> new with its relative delta, negative deltas being
 // improvements for cost metrics (ns/op, B/op, allocs/op).
 //
+// When a file holds repeated runs of the same benchmark (bench_json.sh
+// with COUNT>1), the runs are folded into mean ± spread, where spread is
+// the half-range (max-min)/2 — a cheap stand-in for a confidence interval
+// that needs no distribution assumptions at the tiny sample sizes
+// benchmarks use.
+//
 // Usage:
 //
 //	benchcompare [-max-regress PCT] old.json new.json
 //
-// By default the comparison is report-only and always exits 0, which is
-// how `make check` calls it: the delta is surfaced in the log without
-// turning a measurement wobble into a build failure. With -max-regress N,
-// any ns/op regression above N percent fails the run — the opt-in gate
-// for perf-sensitive branches.
+// With -max-regress N (the default in `make check` via MAX_REGRESS), an
+// ns/op regression fails the run only when it is both large and
+// resolvable: the mean delta exceeds N percent AND the spread intervals
+// [mean-spread, mean+spread] of old and new do not overlap. A wobble on a
+// noisy benchmark widens its interval and is reported but never fatal;
+// with COUNT=1 there is no spread and the gate degenerates to the plain
+// percentage check. -max-regress 0 is report-only.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -29,13 +38,20 @@ type benchFile struct {
 	Results   []map[string]any `json:"results"`
 }
 
+// stat is one metric of one benchmark folded across repeated runs.
+type stat struct {
+	Mean   float64
+	Spread float64 // half-range: (max-min)/2, 0 for a single run
+	N      int
+}
+
 // metricOrder lists the well-known metrics first; anything else a
 // benchmark reports (rows, acc-%, carrier-us, ...) follows alphabetically.
 var metricOrder = map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2}
 
 func main() {
 	maxRegress := flag.Float64("max-regress", 0,
-		"fail when any ns/op regression exceeds this percentage (0 = report only)")
+		"fail when any ns/op regression exceeds this percentage with non-overlapping spreads (0 = report only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress PCT] old.json new.json")
@@ -49,40 +65,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	oldBy := byName(oldF)
 	fmt.Printf("benchcompare: %s (benchtime=%s) -> %s (benchtime=%s)\n",
 		flag.Arg(0), oldF.Benchtime, flag.Arg(1), newF.Benchtime)
+	if compare(os.Stdout, oldF, newF, *maxRegress) {
+		fmt.Fprintf(os.Stderr, "benchcompare: ns/op regression above %.1f%% with non-overlapping spreads\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// compare writes the per-benchmark report to w and reports whether any
+// ns/op regression trips the maxRegress gate.
+func compare(w io.Writer, oldF, newF *benchFile, maxRegress float64) bool {
+	oldBy, _ := aggregate(oldF)
+	newBy, order := aggregate(newF)
 	var failed bool
 	matched := 0
-	for _, nr := range newF.Results {
-		name, _ := nr["name"].(string)
+	for _, name := range order {
 		or, ok := oldBy[name]
 		if !ok {
 			continue
 		}
+		nr := newBy[name]
 		matched++
 		for _, metric := range sharedMetrics(or, nr) {
-			ov, nv := or[metric].(float64), nr[metric].(float64)
+			ov, nv := or[metric], nr[metric]
 			delta := "~"
-			if ov != 0 {
-				pct := (nv - ov) / ov * 100
+			if ov.Mean != 0 {
+				pct := (nv.Mean - ov.Mean) / ov.Mean * 100
 				delta = fmt.Sprintf("%+.1f%%", pct)
-				if metric == "ns/op" && *maxRegress > 0 && pct > *maxRegress {
+				if metric == "ns/op" && regression(ov, nv, maxRegress) {
 					delta += " REGRESSION"
 					failed = true
 				}
 			}
-			fmt.Printf("  %-52s %-10s %14s -> %-14s %s\n",
-				name, metric, formatNum(ov), formatNum(nv), delta)
+			fmt.Fprintf(w, "  %-52s %-10s %20s -> %-20s %s\n",
+				name, metric, formatStat(ov), formatStat(nv), delta)
 		}
 	}
 	if matched == 0 {
-		fmt.Println("  (no benchmarks in common)")
+		fmt.Fprintln(w, "  (no benchmarks in common)")
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchcompare: ns/op regression above %.1f%%\n", *maxRegress)
-		os.Exit(1)
+	return failed
+}
+
+// regression reports whether new is a gate-tripping ns/op regression over
+// old: mean delta above maxRegress percent and the two spread intervals
+// disjoint, so measurement noise wide enough to explain the delta
+// suppresses the failure.
+func regression(old, new stat, maxRegress float64) bool {
+	if maxRegress <= 0 || old.Mean == 0 {
+		return false
 	}
+	pct := (new.Mean - old.Mean) / old.Mean * 100
+	return pct > maxRegress && new.Mean-new.Spread > old.Mean+old.Spread
 }
 
 func load(path string) (*benchFile, error) {
@@ -97,28 +132,62 @@ func load(path string) (*benchFile, error) {
 	return &f, nil
 }
 
-func byName(f *benchFile) map[string]map[string]any {
-	out := make(map[string]map[string]any, len(f.Results))
+// aggregate folds repeated runs of each benchmark into per-metric stats,
+// returning the stats by name plus the names in first-appearance order.
+func aggregate(f *benchFile) (map[string]map[string]stat, []string) {
+	samples := make(map[string]map[string][]float64)
+	var order []string
 	for _, r := range f.Results {
-		if name, ok := r["name"].(string); ok {
-			out[name] = r
+		name, ok := r["name"].(string)
+		if !ok {
+			continue
+		}
+		m, seen := samples[name]
+		if !seen {
+			m = make(map[string][]float64)
+			samples[name] = m
+			order = append(order, name)
+		}
+		for k, v := range r {
+			if k == "name" || k == "iterations" {
+				continue
+			}
+			if x, isNum := v.(float64); isNum {
+				m[k] = append(m[k], x)
+			}
 		}
 	}
-	return out
+	out := make(map[string]map[string]stat, len(samples))
+	for name, metrics := range samples {
+		st := make(map[string]stat, len(metrics))
+		for k, xs := range metrics {
+			st[k] = fold(xs)
+		}
+		out[name] = st
+	}
+	return out, order
 }
 
-// sharedMetrics lists the numeric metrics present in both records,
-// well-known cost metrics first.
-func sharedMetrics(or, nr map[string]any) []string {
+func fold(xs []float64) stat {
+	sum, lo, hi := 0.0, xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return stat{Mean: sum / float64(len(xs)), Spread: (hi - lo) / 2, N: len(xs)}
+}
+
+// sharedMetrics lists the metrics present in both benchmarks, well-known
+// cost metrics first.
+func sharedMetrics(or, nr map[string]stat) []string {
 	var out []string
-	for k, v := range nr {
-		if k == "name" || k == "iterations" {
-			continue
-		}
-		if _, isNum := v.(float64); !isNum {
-			continue
-		}
-		if _, inOld := or[k].(float64); inOld {
+	for k := range nr {
+		if _, inOld := or[k]; inOld {
 			out = append(out, k)
 		}
 	}
@@ -137,6 +206,13 @@ func sharedMetrics(or, nr map[string]any) []string {
 		}
 	})
 	return out
+}
+
+func formatStat(s stat) string {
+	if s.N <= 1 || s.Mean == 0 {
+		return formatNum(s.Mean)
+	}
+	return fmt.Sprintf("%s ±%.0f%%", formatNum(s.Mean), s.Spread/s.Mean*100)
 }
 
 func formatNum(v float64) string {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bf(results ...map[string]any) *benchFile {
+	return &benchFile{Benchtime: "1s", Count: len(results), Results: results}
+}
+
+func run(name string, nsop float64) map[string]any {
+	return map[string]any{"name": name, "iterations": float64(100), "ns/op": nsop}
+}
+
+func TestAggregateFoldsRepeatedRuns(t *testing.T) {
+	f := bf(run("BenchmarkX-1", 100), run("BenchmarkX-1", 120), run("BenchmarkX-1", 110))
+	by, order := aggregate(f)
+	if len(order) != 1 || order[0] != "BenchmarkX-1" {
+		t.Fatalf("order = %v, want [BenchmarkX-1]", order)
+	}
+	st := by["BenchmarkX-1"]["ns/op"]
+	if st.N != 3 {
+		t.Fatalf("N = %d, want 3", st.N)
+	}
+	if st.Mean != 110 {
+		t.Errorf("mean = %v, want 110", st.Mean)
+	}
+	if st.Spread != 10 {
+		t.Errorf("spread = %v, want 10 (half-range of [100,120])", st.Spread)
+	}
+}
+
+func TestAggregateSingleRunHasZeroSpread(t *testing.T) {
+	by, _ := aggregate(bf(run("BenchmarkY-1", 50)))
+	st := by["BenchmarkY-1"]["ns/op"]
+	if st.N != 1 || st.Spread != 0 || st.Mean != 50 {
+		t.Fatalf("stat = %+v, want {Mean:50 Spread:0 N:1}", st)
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new stat
+		max      float64
+		want     bool
+	}{
+		{"below threshold", stat{Mean: 100}, stat{Mean: 120}, 50, false},
+		{"above threshold, no spread", stat{Mean: 100}, stat{Mean: 200}, 50, true},
+		{"above threshold but spreads overlap",
+			stat{Mean: 100, Spread: 40, N: 3}, stat{Mean: 200, Spread: 70, N: 3}, 50, false},
+		{"above threshold, spreads disjoint",
+			stat{Mean: 100, Spread: 5, N: 3}, stat{Mean: 200, Spread: 5, N: 3}, 50, true},
+		{"report-only mode never fails", stat{Mean: 100}, stat{Mean: 1000}, 0, false},
+		{"improvement never fails", stat{Mean: 200}, stat{Mean: 100}, 10, false},
+	}
+	for _, c := range cases {
+		if got := regression(c.old, c.new, c.max); got != c.want {
+			t.Errorf("%s: regression = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompareReportsAndGates(t *testing.T) {
+	oldF := bf(run("BenchmarkA-1", 100), run("BenchmarkA-1", 102),
+		run("BenchmarkB-1", 100), run("BenchmarkB-1", 102))
+	newF := bf(run("BenchmarkA-1", 300), run("BenchmarkA-1", 302), // clean 3x regression
+		run("BenchmarkB-1", 101), run("BenchmarkB-1", 99)) // flat
+	var out strings.Builder
+	if failed := compare(&out, oldF, newF, 60); !failed {
+		t.Fatalf("compare did not fail on a 3x disjoint regression:\n%s", out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report lacks REGRESSION marker:\n%s", report)
+	}
+	if !strings.Contains(report, "±") {
+		t.Errorf("report lacks mean±spread rendering:\n%s", report)
+	}
+
+	out.Reset()
+	if failed := compare(&out, oldF, oldF, 60); failed {
+		t.Fatalf("self-comparison failed the gate:\n%s", out.String())
+	}
+}
+
+func TestCompareNoCommonBenchmarks(t *testing.T) {
+	var out strings.Builder
+	if failed := compare(&out, bf(run("BenchmarkA-1", 1)), bf(run("BenchmarkZ-1", 1)), 60); failed {
+		t.Fatal("disjoint files failed the gate")
+	}
+	if !strings.Contains(out.String(), "no benchmarks in common") {
+		t.Errorf("report = %q, want no-benchmarks notice", out.String())
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# load-smoke: the standing serving-path performance gate behind
+# `make load-smoke` (it runs inside `make check`). auricload drives a
+# short in-process load against a multi-market sharded engine with one
+# snapshot reload racing the traffic, and the run fails if:
+#   - any request fails during the reload (-max-failures 0: the
+#     zero-downtime property under fire), or
+#   - throughput falls below a floor chosen far under the measured rate
+#     (EXPERIMENTS.md), so only a real serving-path regression trips it,
+#     never CI noise.
+# The JSON report (requests, carriers/s, p50/p99) is printed for the log.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "load-smoke: building auricload"
+go build -o "$tmp/auricload" ./cmd/auricload
+
+report="$tmp/report.json"
+echo "load-smoke: 2s in-process load, batch 16, 1 reload mid-run"
+"$tmp/auricload" -markets 4 -enbs 8 -duration 2s -batch 16 -workers 4 \
+    -reloads 1 -max-failures 0 -min-cps 500 -report "$report"
+
+cat "$report"
+
+# The report must carry the latency quantiles the harness exists to
+# produce (a NaN or 0 p50 means the histogram never saw an observation).
+grep -q '"p50": 0\.' "$report" || {
+    echo "load-smoke: report lacks a positive p50"; exit 1; }
+grep -q '"p99": 0\.' "$report" || {
+    echo "load-smoke: report lacks a positive p99"; exit 1; }
+grep -q '"failures": 0,' "$report" || {
+    echo "load-smoke: failures during hot reload"; exit 1; }
+echo "load-smoke: zero failures across the reload, quantiles reported"

@@ -14,7 +14,7 @@ go build -o "$tmp/auricd" ./cmd/auricd
 
 log="$tmp/auricd.log"
 auditlog="$tmp/audit.jsonl"
-"$tmp/auricd" -addr 127.0.0.1:0 -markets 1 -enbs 8 -audit-log "$auditlog" >"$log" 2>&1 &
+"$tmp/auricd" -addr 127.0.0.1:0 -markets 2 -enbs 6 -audit-log "$auditlog" >"$log" 2>&1 &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
@@ -78,6 +78,39 @@ fi
 grep -q '"relaxationLevel"' "$auditlog" || {
     echo "serve-smoke: audit records lack relaxation levels"; exit 1; }
 echo "serve-smoke: audit log holds $recs valid JSONL records"
+
+# Sharded serving surface: the shard layout endpoint, a zero-downtime
+# reload over HTTP, and the same reload via SIGHUP.
+curl -fsS "http://$addr/v1/shards" | grep -q '"carriers"' || {
+    echo "serve-smoke: /v1/shards reports no shard layout"; exit 1; }
+gen1=$(curl -fsS -X POST "http://$addr/v1/reload" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p')
+[ -n "$gen1" ] && [ "$gen1" -ge 2 ] || {
+    echo "serve-smoke: POST /v1/reload did not advance the generation (got '$gen1')"; exit 1; }
+echo "serve-smoke: POST /v1/reload swapped in generation $gen1"
+
+kill -HUP "$pid"
+i=0
+while [ $i -lt 150 ]; do
+    grep -q "trigger=sighup" "$log" && break
+    i=$((i + 1)); sleep 0.2
+done
+grep -q "trigger=sighup" "$log" || {
+    echo "serve-smoke: SIGHUP reload never completed:"; cat "$log"; exit 1; }
+echo "serve-smoke: SIGHUP reload complete"
+
+# NDJSON batch streaming: one compact JSON object per line, in order.
+ndjson="$tmp/batch.ndjson"
+curl -fsS -H 'Accept: application/x-ndjson' -H 'Content-Type: application/json' \
+    -d '[{"carrier": 1}, {"carrier": 999999}, {"carrier": 2}]' \
+    -o "$ndjson" "http://$addr/v1/recommend"
+lines=$(wc -l <"$ndjson")
+[ "$lines" -eq 3 ] || {
+    echo "serve-smoke: NDJSON stream has $lines lines, want 3"; cat "$ndjson"; exit 1; }
+sed -n '2p' "$ndjson" | grep -q '"error":"unknown carrier"' || {
+    echo "serve-smoke: NDJSON line 2 is not the per-item error:"; cat "$ndjson"; exit 1; }
+sed -n '3p' "$ndjson" | grep -q '"recommendations":' || {
+    echo "serve-smoke: NDJSON stream died after the mid-stream error:"; cat "$ndjson"; exit 1; }
+echo "serve-smoke: NDJSON batch streams 3 lines with the error inline"
 
 kill -TERM "$pid"
 status=0
