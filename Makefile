@@ -23,8 +23,9 @@ fmt-check:
 	@echo "fmt-check: gofmt clean"
 
 # doc-audit fails when any package (root, internal/*, cmd/*) lacks a
-# `// Package ...` or `// Command ...` doc comment — the operator- and
-# contributor-facing documentation floor (see OPERATIONS.md).
+# `// Package ...` or `// Command ...` doc comment, or when an auricd flag
+# or HTTP route is missing from OPERATIONS.md (scripts/doc_audit.sh) — the
+# operator- and contributor-facing documentation floor.
 doc-audit:
 	@missing=0; \
 	for dir in . $$(find internal cmd -type d); do \
@@ -35,6 +36,7 @@ doc-audit:
 	done; \
 	[ $$missing -eq 0 ] || exit 1
 	@echo "doc-audit: every package documented"
+	@./scripts/doc_audit.sh
 
 test:
 	$(GO) test ./...

@@ -85,6 +85,24 @@ type (
 	Learner = learn.Learner
 )
 
+// Live-ingest machinery (see internal/core): ShardedEngine.Apply takes a
+// Delta — carrier upserts and tombstones — and patches the affected models
+// in place instead of retraining, which is how auricd tracks a live
+// network between snapshots.
+type (
+	// Delta is an atomic batch of carrier mutations.
+	Delta = core.Delta
+	// Upsert adds a carrier (ID -1) or replaces an existing one.
+	Upsert = core.Upsert
+	// PairValues carries the pair-wise parameter values an upsert sets
+	// toward one other carrier.
+	PairValues = core.PairValues
+	// ApplyResult reports what a Delta did: the new generation, the IDs
+	// assigned to created carriers, and how many models were patched
+	// incrementally versus refit.
+	ApplyResult = core.ApplyResult
+)
+
 // Synthetic-network generation (see internal/netsim and DESIGN.md for how
 // the generator substitutes the paper's proprietary dataset).
 type (

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"auric"
+	"auric/internal/journal"
+	"auric/internal/rng"
+)
+
+// liveServer builds a server through the real startup path (restore), with
+// an optional journal — the configuration main assembles from -journal.
+func liveServer(t *testing.T, jpath string) *server {
+	t.Helper()
+	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: 3, Markets: 2, ENodeBsPerMarket: 8})
+	s := &server{newRNG: rng.New(1), world: w}
+	s.source = func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
+		return w.Net, w.X2, w.Current, nil
+	}
+	var entries []journal.Entry
+	if jpath != "" {
+		j, es, err := journal.Open(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { j.Close() })
+		s.journal = j
+		s.snapPath = jpath + ".snapshot"
+		s.journalMax = 8 << 20
+		entries = es
+	}
+	if _, err := s.restore(entries); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// donorItem builds a wire upsert that clones an existing carrier's
+// attributes onto its eNodeB (ID omitted: create).
+func donorItem(net *auric.Network, id int) ingestItem {
+	c := net.Carriers[id]
+	return ingestItem{Carrier: carrierSpec{
+		ENodeB: int(c.ENodeB), Face: c.Face, FrequencyMHz: c.FrequencyMHz,
+		Type: c.Type.String(), Info: c.Info, Morphology: c.Morphology.String(),
+		BandwidthMHz: c.BandwidthMHz, MIMOMode: c.MIMOMode, Hardware: c.Hardware,
+		CellSizeMi: c.CellSizeMi, TAC: c.TAC, Market: c.Market, Vendor: c.Vendor,
+		NeighborChan: c.NeighborChan, NeighborsOnENB: c.NeighborsOnENB,
+		SoftwareVersion: c.SoftwareVersion, Terrain: c.Terrain.String(),
+		Lat: c.Lat, Lon: c.Lon,
+	}}
+}
+
+func postIngest(t *testing.T, s *server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handleIngest(rec, httptest.NewRequest("POST", "/v1/carriers", strings.NewReader(body)))
+	return rec
+}
+
+func mustIngest(t *testing.T, s *server, it ingestItem) int {
+	t.Helper()
+	b, err := json.Marshal(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postIngest(t, s, string(b))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Generation int64
+		Results    []ingestEntry
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].ID < 0 {
+		t.Fatalf("ingest results: %+v", resp.Results)
+	}
+	return resp.Results[0].ID
+}
+
+func deleteCarrier(t *testing.T, s *server, id int) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handleCarrierDelete(rec, httptest.NewRequest("DELETE", fmt.Sprintf("/v1/carriers/%d", id), nil))
+	return rec
+}
+
+// TestIngestUpsertAndDelete exercises the journal-less ingest lifecycle:
+// create a carrier, read it back, tombstone it, and observe the tombstone
+// rules (no double delete, unknown id is 404).
+func TestIngestUpsertAndDelete(t *testing.T) {
+	s := liveServer(t, "")
+	net0, _, gen0, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(net0.Carriers)
+
+	id := mustIngest(t, s, donorItem(net0, 0))
+	if id != before {
+		t.Fatalf("assigned id %d, want %d (append-only id space)", id, before)
+	}
+	net1, _, gen1, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net1.Carriers) != before+1 || gen1 == gen0 {
+		t.Fatalf("after upsert: %d carriers (want %d), generation %d -> %d",
+			len(net1.Carriers), before+1, gen0, gen1)
+	}
+	// The new carrier serves immediately.
+	rec := httptest.NewRecorder()
+	s.handleCarrier(rec, httptest.NewRequest("GET", fmt.Sprintf("/v1/carriers/%d", id), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET new carrier: %d: %s", rec.Code, rec.Body)
+	}
+
+	if rec := deleteCarrier(t, s, id); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d: %s", rec.Code, rec.Body)
+	}
+	if rec := deleteCarrier(t, s, id); rec.Code != http.StatusConflict {
+		t.Fatalf("double delete: %d, want 409: %s", rec.Code, rec.Body)
+	}
+	if rec := deleteCarrier(t, s, 999999); rec.Code != http.StatusNotFound {
+		t.Fatalf("delete unknown: %d, want 404", rec.Code)
+	}
+	// Upserting a tombstoned id is a semantic (engine) rejection: 409.
+	it := donorItem(net0, 0)
+	it.Carrier.ID = &id
+	b, _ := json.Marshal(it)
+	if rec := postIngest(t, s, string(b)); rec.Code != http.StatusConflict {
+		t.Fatalf("upsert of tombstoned id: %d, want 409: %s", rec.Code, rec.Body)
+	}
+	// Unknown market: also an engine rejection.
+	bad := donorItem(net0, 0)
+	bad.Carrier.Market = 99
+	b, _ = json.Marshal(bad)
+	if rec := postIngest(t, s, string(b)); rec.Code != http.StatusConflict {
+		t.Fatalf("unknown market: %d, want 409: %s", rec.Code, rec.Body)
+	}
+	// Compaction without a journal has nothing to fold.
+	rec = httptest.NewRecorder()
+	s.handleCompact(rec, httptest.NewRequest("POST", "/v1/compact", nil))
+	if rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("compact without journal: %d, want 412", rec.Code)
+	}
+}
+
+// TestIngestValidationErrors pins the per-item error contract: a batch
+// with wire-level errors is rejected as a whole (atomic), every bad item
+// reports its own error in its slot, and nothing applies.
+func TestIngestValidationErrors(t *testing.T) {
+	s := liveServer(t, "")
+	net0, _, gen0, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := donorItem(net0, 0)
+	badType := donorItem(net0, 0)
+	badType.Carrier.Type = "lte-9000"
+	badParam := donorItem(net0, 0)
+	badParam.Config = map[string]float64{"noSuchParameter": 1}
+	wrongKind := donorItem(net0, 0)
+	pw := s.schema.PairWise()[0]
+	wrongKind.Config = map[string]float64{s.schema.At(pw).Name: 1} // pair-wise name in the singular slot
+
+	b, err := json.Marshal([]ingestItem{good, badType, badParam, wrongKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postIngest(t, s, string(b))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Error   string
+		Results []ingestEntry
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("results: %+v", resp.Results)
+	}
+	if resp.Results[0].Error != "" {
+		t.Errorf("good item got error %q", resp.Results[0].Error)
+	}
+	for i, want := range map[int]string{1: "carrier type", 2: "unknown parameter", 3: "not singular"} {
+		if !strings.Contains(resp.Results[i].Error, want) {
+			t.Errorf("item %d error %q, want %q", i, resp.Results[i].Error, want)
+		}
+	}
+	net1, _, gen1, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net1.Carriers) != len(net0.Carriers) || gen1 != gen0 {
+		t.Fatalf("partial apply: %d -> %d carriers, generation %d -> %d",
+			len(net0.Carriers), len(net1.Carriers), gen0, gen1)
+	}
+}
+
+// TestJournalReplayAfterCrash is the durability round trip: ingest, crash
+// without compacting (plus a torn final write), restart from the same
+// journal, and land in an identical serving state — same inventory, same
+// tombstones, same recommendations.
+func TestJournalReplayAfterCrash(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "deltas.jsonl")
+	s1 := liveServer(t, jpath)
+	net0, _, _, err := s1.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustIngest(t, s1, donorItem(net0, 0))
+	if rec := deleteCarrier(t, s1, 5); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d: %s", rec.Code, rec.Body)
+	}
+	net1, _, _, err := s1.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs1, err := s1.engine.Recommend(&net1.Carriers[id], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.journal.Close() // crash: no compaction, journal is the only record
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":99,"kind":"del`) // torn write mid-crash
+	f.Close()
+
+	s2 := liveServer(t, jpath)
+	if s2.journal.Dropped() == 0 {
+		t.Error("torn tail not reported as dropped")
+	}
+	net2, _, _, err := s2.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net2.Carriers) != len(net1.Carriers) {
+		t.Fatalf("replayed inventory %d carriers, want %d", len(net2.Carriers), len(net1.Carriers))
+	}
+	if dead, err := s2.engine.Tombstoned(5); err != nil || !dead {
+		t.Fatalf("Tombstoned(5) = %v, %v after replay", dead, err)
+	}
+	recs2, err := s2.engine.Recommend(&net2.Carriers[id], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs1, recs2) {
+		t.Error("recommendations diverge after journal replay")
+	}
+}
+
+// TestCompactionRoundTrip: compaction folds the journal into the snapshot
+// (journal empties, snapshot appears), post-compaction deltas land past
+// the snapshot's sequence fence, and a restart restores the combined
+// state from snapshot + journal tail.
+func TestCompactionRoundTrip(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "deltas.jsonl")
+	s1 := liveServer(t, jpath)
+	net0, _, _, err := s1.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustIngest(t, s1, donorItem(net0, 0))
+	if rec := deleteCarrier(t, s1, 5); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := httptest.NewRecorder()
+	s1.handleCompact(rec, httptest.NewRequest("POST", "/v1/compact", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact: %d: %s", rec.Code, rec.Body)
+	}
+	if _, err := os.Stat(jpath + ".snapshot"); err != nil {
+		t.Fatalf("compacted snapshot missing: %v", err)
+	}
+	if n := s1.journal.Entries(); n != 0 {
+		t.Fatalf("journal holds %d entries after compaction", n)
+	}
+
+	// A post-compaction delta: its seq is past the snapshot fence.
+	if rec := deleteCarrier(t, s1, 6); rec.Code != http.StatusOK {
+		t.Fatalf("post-compaction delete: %d: %s", rec.Code, rec.Body)
+	}
+	net1, _, _, err := s1.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs1, err := s1.engine.Recommend(&net1.Carriers[id], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.journal.Close()
+
+	s2 := liveServer(t, jpath)
+	net2, _, _, err := s2.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net2.Carriers) != len(net1.Carriers) {
+		t.Fatalf("restored inventory %d carriers, want %d", len(net2.Carriers), len(net1.Carriers))
+	}
+	for _, want := range []int{5, 6} {
+		if dead, err := s2.engine.Tombstoned(auric.CarrierID(want)); err != nil || !dead {
+			t.Fatalf("Tombstoned(%d) = %v, %v after restore", want, dead, err)
+		}
+	}
+	recs2, err := s2.engine.Recommend(&net2.Carriers[id], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs1, recs2) {
+		t.Error("recommendations diverge after compaction + restore")
+	}
+}
+
+// TestSizeTriggeredCompaction: once the journal outgrows journalMax, the
+// very ingest that crossed the line folds it into the snapshot.
+func TestSizeTriggeredCompaction(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "deltas.jsonl")
+	s := liveServer(t, jpath)
+	s.journalMax = 1 // every append exceeds this
+	net0, _, _, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, s, donorItem(net0, 0))
+	if n := s.journal.Entries(); n != 0 {
+		t.Fatalf("journal holds %d entries; size trigger did not compact", n)
+	}
+	if _, err := os.Stat(jpath + ".snapshot"); err != nil {
+		t.Fatalf("compacted snapshot missing: %v", err)
+	}
+}

@@ -8,15 +8,26 @@
 // shard set trains in the background, an atomic pointer swap makes it
 // live, and in-flight requests drain on the old generation.
 //
-//	GET  /healthz                 -> ok
-//	GET  /v1/network              -> network summary JSON
-//	GET  /v1/carriers/{id}        -> carrier attributes JSON
-//	GET  /v1/shards               -> per-market shard layout + generation
-//	POST /v1/recommend            -> recommendations for a carrier
-//	POST /v1/reload               -> retrain + swap the shard set
-//	GET  /metrics                 -> Prometheus text exposition
-//	GET  /debug/traces            -> recent + slow request traces JSON
-//	     /debug/pprof/...        -> net/http/pprof (with -pprof)
+//	GET    /healthz               -> ok
+//	GET    /v1/network            -> network summary JSON
+//	GET    /v1/carriers/{id}      -> carrier attributes JSON
+//	POST   /v1/carriers           -> live carrier upsert (single or batch)
+//	DELETE /v1/carriers/{id}      -> tombstone a carrier
+//	GET    /v1/shards             -> per-market shard layout + generation
+//	POST   /v1/recommend          -> recommendations for a carrier
+//	POST   /v1/reload             -> retrain + swap the shard set
+//	POST   /v1/compact            -> fold the delta journal into a snapshot
+//	GET    /metrics               -> Prometheus text exposition
+//	GET    /debug/traces          -> recent + slow request traces JSON
+//	       /debug/pprof/...       -> net/http/pprof (with -pprof)
+//
+// The ingest routes track a live network between snapshots: upserts and
+// tombstones patch the affected parameter models in place instead of
+// retraining (see ingest.go and DESIGN.md). With -journal every accepted
+// mutation is appended to an fsynced JSONL delta journal before it is
+// acknowledged and replayed over the latest snapshot on startup, so a
+// crash loses nothing; POST /v1/compact (or the journal exceeding
+// -journal-max-bytes) folds the journal into <journal>.snapshot.
 //
 // SIGHUP triggers the same reload as POST /v1/reload. Every request is
 // traced (internal/trace): the response carries a W3C traceparent header,
@@ -64,6 +75,7 @@ import (
 
 	"auric"
 	"auric/internal/audit"
+	"auric/internal/journal"
 	"auric/internal/obs"
 	"auric/internal/rng"
 	"auric/internal/snapshot"
@@ -77,8 +89,19 @@ type server struct {
 	// snapshot file in snapshot mode, from the generated world otherwise.
 	// It must be safe to call repeatedly.
 	source func() (*auric.Network, *auric.X2Graph, *auric.Config, error)
-	// reloadMu serializes reloads (HTTP and SIGHUP); serving never takes it.
+	// workers is the per-shard worker pool size restore passes to the
+	// engine it bootstraps.
+	workers int
+	// reloadMu serializes every state mutation: snapshot reloads (HTTP and
+	// SIGHUP), live ingest, and journal compaction. Serving never takes it.
 	reloadMu sync.Mutex
+	// journal, when non-nil, records every accepted ingest delta before it
+	// is acknowledged (see ingest.go); snapPath is where compaction folds
+	// it (<journal>.snapshot) and journalMax the size that triggers an
+	// automatic fold.
+	journal    *journal.Journal
+	snapPath   string
+	journalMax int64
 	// world is present when the network was generated in-process; it
 	// enables richer new-carrier synthesis. Snapshot-served networks run
 	// with world == nil and derive new carriers from a co-sited donor.
@@ -99,6 +122,15 @@ type server struct {
 	// reloads counts snapshot reloads by trigger and outcome
 	// (auric_reloads_total{trigger,ok}).
 	reloads *obs.CounterVec
+	// ingests counts live-ingest operations by kind and outcome
+	// (auric_ingest_ops_total{kind,ok}); compactions counts journal folds
+	// (auric_compactions_total{trigger,ok}).
+	ingests     *obs.CounterVec
+	compactions *obs.CounterVec
+	// journalLag and journalBytes expose the journal's replay lag in
+	// entries and its size in bytes.
+	journalLag   *obs.Gauge
+	journalBytes *obs.Gauge
 	// audit, when non-nil, receives one record per recommendation value
 	// served by POST /v1/recommend.
 	audit *audit.Log
@@ -130,10 +162,13 @@ func main() {
 
 		auditPath     = flag.String("audit-log", "", "append one JSONL record per recommendation value served (empty disables)")
 		auditMaxBytes = flag.Int64("audit-max-bytes", 64<<20, "rotate the audit log before it exceeds this size")
+
+		journalPath = flag.String("journal", "", "append-only delta journal making live ingest durable across restarts (empty: ingest applies in memory only)")
+		journalMax  = flag.Int64("journal-max-bytes", 8<<20, "compact the journal into its snapshot when it exceeds this size (0 disables the size trigger)")
 	)
 	flag.Parse()
 
-	s := &server{newRNG: rng.New(*seed ^ 0xd), streamChunk: *chunk}
+	s := &server{newRNG: rng.New(*seed ^ 0xd), streamChunk: *chunk, workers: *workers}
 	if *auditPath != "" {
 		al, err := audit.Open(*auditPath, audit.Options{MaxBytes: *auditMaxBytes})
 		if err != nil {
@@ -161,15 +196,25 @@ func main() {
 			return w.Net, w.X2, w.Current, nil
 		}
 	}
-	net0, x2, cfg, err := s.source()
-	if err != nil {
-		log.Fatal(err)
+	var jentries []journal.Entry
+	if *journalPath != "" {
+		j, entries, err := journal.Open(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer j.Close()
+		if j.Dropped() > 0 {
+			log.Printf("auricd: journal %s: truncated %d corrupt tail bytes (crash footprint)", *journalPath, j.Dropped())
+		}
+		s.journal = j
+		s.journalMax = *journalMax
+		s.snapPath = *journalPath + ".snapshot"
+		jentries = entries
+		log.Printf("auricd: live ingest journal %s (%d entries to replay, compact at %d bytes into %s)",
+			*journalPath, len(entries), *journalMax, s.snapPath)
 	}
-	s.schema = cfg.Schema()
-	s.engine = auric.NewShardedEngine(s.schema, auric.EngineOptions{Local: true, Workers: *workers})
-	log.Printf("training %d market shards on %d carriers", len(net0.Markets), len(net0.Carriers))
 	start := time.Now()
-	gen, err := s.engine.Load(net0, x2, cfg)
+	gen, err := s.restore(jentries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -205,16 +250,24 @@ func main() {
 	}
 }
 
-// reload retrains the shard set from the snapshot source and swaps it in
-// atomically. It returns the new generation; concurrent reload triggers
-// serialize.
+// reload retrains the shard set and swaps it in atomically. In journal
+// mode it compacts first, folding every live-ingested delta into the
+// snapshot so the reload rebuilds from it and loses nothing; without a
+// journal it rebuilds from the configured source, reverting any in-memory
+// ingest. Concurrent reload triggers serialize.
 func (s *server) reload(trigger string) (int64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	start := time.Now()
-	net, x2, cfg, err := s.source()
+	var (
+		gen int64
+		err error
+	)
+	if s.journal != nil {
+		err = s.compactLocked(trigger)
+	}
 	if err == nil {
-		_, err = s.engine.Load(net, x2, cfg)
+		gen, err = s.restore(nil)
 	}
 	if s.reloads != nil {
 		s.reloads.With(trigger, strconv.FormatBool(err == nil)).Inc()
@@ -222,9 +275,8 @@ func (s *server) reload(trigger string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	gen := s.engine.Generation()
-	log.Printf("auricd: reload complete (trigger=%s): generation %d, %d carriers in %.2fs",
-		trigger, gen, len(net.Carriers), time.Since(start).Seconds())
+	log.Printf("auricd: reload complete (trigger=%s): generation %d in %.2fs",
+		trigger, gen, time.Since(start).Seconds())
 	return gen, nil
 }
 
@@ -294,12 +346,24 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384})
 	s.reloads = reg.CounterVec("auric_reloads_total",
 		"Snapshot reloads, by trigger (http, sighup) and outcome.", "trigger", "ok")
+	s.ingests = reg.CounterVec("auric_ingest_ops_total",
+		"Live-ingest operations via POST/DELETE /v1/carriers, by kind (upsert, tombstone) and outcome.", "kind", "ok")
+	s.compactions = reg.CounterVec("auric_compactions_total",
+		"Delta-journal compactions, by trigger (http, size, sighup) and outcome.", "trigger", "ok")
+	s.journalLag = reg.Gauge("auric_journal_lag_ops",
+		"Journal entries not yet folded into the compacted snapshot — the replay a restart would pay.")
+	s.journalBytes = reg.Gauge("auric_journal_bytes",
+		"Current delta journal size in bytes.")
+	s.updateJournalGauges()
 
 	mux := http.NewServeMux()
-	route := func(method, pattern string, h http.HandlerFunc) {
-		// Trace inside the metrics wrapper: the root span covers the
-		// handler, the histogram covers span bookkeeping too.
+	// Trace inside the metrics wrapper: the root span covers the handler,
+	// the histogram covers span bookkeeping too.
+	handle := func(method, pattern string, h http.HandlerFunc) {
 		mux.Handle(method+" "+pattern, m.Handler(pattern, tr.Middleware(pattern, h)))
+	}
+	route := func(method, pattern string, h http.HandlerFunc) {
+		handle(method, pattern, h)
 		// Fallback for every other method on a known path: JSON 405.
 		// The method-qualified pattern above is more specific, so it
 		// wins whenever the method matches.
@@ -310,10 +374,14 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 		rw.Write([]byte("ok\n"))
 	})
 	route("GET", "/v1/network", s.handleNetwork)
-	route("GET", "/v1/carriers/", s.handleCarrier)
+	handle("GET", "/v1/carriers/", s.handleCarrier)
+	handle("DELETE", "/v1/carriers/", s.handleCarrierDelete)
+	mux.Handle("/v1/carriers/", m.Handler("/v1/carriers/", methodNotAllowed("GET, DELETE")))
+	route("POST", "/v1/carriers", s.handleIngest)
 	route("GET", "/v1/shards", s.handleShards)
 	route("POST", "/v1/recommend", s.handleRecommend)
 	route("POST", "/v1/reload", s.handleReload)
+	route("POST", "/v1/compact", s.handleCompact)
 	mux.Handle("GET /metrics", m.Handler("/metrics", reg.Handler()))
 	mux.Handle("/metrics", m.Handler("/metrics", methodNotAllowed("GET")))
 	// The trace inspection endpoint is not itself traced: reading the
@@ -763,6 +831,13 @@ func isJSONArray(body []byte) bool {
 var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 func writeJSON(rw http.ResponseWriter, v any) {
+	writeJSONStatus(rw, http.StatusOK, v)
+}
+
+// writeJSONStatus writes a JSON body with an explicit status code — used
+// by responses that carry structure beyond the plain {"error": ...} shape,
+// like per-item ingest validation results.
+func writeJSONStatus(rw http.ResponseWriter, status int, v any) {
 	buf := jsonBufs.Get().(*bytes.Buffer)
 	defer jsonBufs.Put(buf)
 	buf.Reset()
@@ -774,6 +849,9 @@ func writeJSON(rw http.ResponseWriter, v any) {
 		return
 	}
 	rw.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		rw.WriteHeader(status)
+	}
 	if _, err := rw.Write(buf.Bytes()); err != nil {
 		log.Printf("auricd: writing response: %v", err)
 	}

@@ -17,6 +17,14 @@
 // zero-downtime property under fire: with -max-failures 0 (the default)
 // any request failing during a swap fails the run.
 //
+// -churn R races live ingest against the recommend traffic (in-process
+// mode): a churner applies R carrier mutations per second — each one an
+// upsert of a new carrier plus a tombstone of the previous one, the
+// steady-state shape of a network tracking adds and decommissions — while
+// the workers keep recommending. The report gains ingest op counts and a
+// separate ingest latency distribution, so the cost of incremental fit
+// under serving load is measured, not assumed.
+//
 // Latency is recorded into an internal/obs histogram and the report's
 // p50/p90/p99 come from Histogram.Quantile — the same estimator the
 // /metrics consumers apply, so harness numbers and production dashboards
@@ -59,6 +67,7 @@ type options struct {
 	batch    int
 	pairwise bool
 	reloads  int
+	churn    float64
 
 	engineWorkers int
 	target        string
@@ -85,6 +94,11 @@ type report struct {
 	RPS             float64 `json:"rps"` // requests per second
 	CarriersPerSec  float64 `json:"carriersPerSec"`
 	Latency         latency `json:"latencySeconds"`
+	// Churn-mode fields (-churn): ingest deltas applied while the load
+	// ran, how many failed, and the ingest latency distribution.
+	ChurnOps      int64    `json:"churnOps,omitempty"`
+	ChurnFailures int64    `json:"churnFailures,omitempty"`
+	ChurnLatency  *latency `json:"churnLatencySeconds,omitempty"`
 }
 
 type latency struct {
@@ -104,6 +118,7 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 1, "carriers per request (>1 uses the batch path)")
 	flag.BoolVar(&o.pairwise, "pairwise", false, "request pair-wise recommendations too")
 	flag.IntVar(&o.reloads, "reloads", 0, "snapshot reloads performed while the load runs")
+	flag.Float64Var(&o.churn, "churn", 0, "live-ingest deltas per second racing the load (in-process mode; 0 disables)")
 	flag.IntVar(&o.engineWorkers, "engine-workers", 1, "per-shard engine worker pool (keep 1: the load workers provide the parallelism)")
 	flag.StringVar(&o.target, "target", "", "drive a live auricd at this base URL instead of in-process")
 	flag.Float64Var(&o.minRPS, "min-rps", 0, "fail the run below this request rate (0 disables)")
@@ -134,8 +149,9 @@ func main() {
 	if o.minCPS > 0 && rep.CarriersPerSec < o.minCPS {
 		log.Fatalf("auricload: %.0f carriers/s is below the -min-cps gate of %.0f", rep.CarriersPerSec, o.minCPS)
 	}
-	if o.maxFailures >= 0 && rep.Failures > o.maxFailures {
-		log.Fatalf("auricload: %d failed requests exceed the -max-failures gate of %d", rep.Failures, o.maxFailures)
+	if o.maxFailures >= 0 && rep.Failures+rep.ChurnFailures > o.maxFailures {
+		log.Fatalf("auricload: %d failed requests (%d of them ingest) exceed the -max-failures gate of %d",
+			rep.Failures+rep.ChurnFailures, rep.ChurnFailures, o.maxFailures)
 	}
 }
 
@@ -148,6 +164,14 @@ func run(o *options) (*report, error) {
 	}
 	if o.duration <= 0 {
 		return nil, fmt.Errorf("duration %v is not positive", o.duration)
+	}
+	if o.churn > 0 && o.target != "" {
+		return nil, fmt.Errorf("-churn drives the in-process engine and cannot combine with -target")
+	}
+	if o.churn > 0 && o.reloads > 0 {
+		// A reload drops live-ingested carriers, so the churner's next
+		// tombstone would fail spuriously; keep the two modes apart.
+		return nil, fmt.Errorf("-churn and -reloads cannot combine: a reload discards ingested carriers mid-run")
 	}
 	if o.target != "" {
 		return runHTTP(o)
@@ -235,7 +259,48 @@ func runInProcess(o *options) (*report, error) {
 			}
 		}
 	}()
+
+	// The churner races live ingest against the recommend load: each delta
+	// creates a carrier and tombstones the previous one, so the inventory
+	// stays bounded while every op exercises the incremental-fit patch path
+	// and a generation swap under fire.
+	var churnOps, churnFailures atomic.Int64
+	churnHist := obs.New().Histogram("auricload_ingest_seconds",
+		"Latency per ingest delta applied by the churner.", obs.DefBuckets)
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		if o.churn <= 0 {
+			return
+		}
+		interval := time.Duration(float64(time.Second) / o.churn)
+		donor := w.Net.Carriers[0]
+		prev := auric.CarrierID(-1)
+		for time.Now().Before(deadline) {
+			c := donor
+			c.ID = -1
+			d := auric.Delta{Upserts: []auric.Upsert{{Carrier: c}}}
+			if prev >= 0 {
+				d.Tombstones = []auric.CarrierID{prev}
+			}
+			t0 := time.Now()
+			res, err := engine.Apply(d)
+			took := time.Since(t0)
+			churnHist.Observe(took.Seconds())
+			churnOps.Add(1)
+			if err != nil {
+				churnFailures.Add(1)
+			} else {
+				prev = res.Assigned[0]
+			}
+			if rest := interval - took; rest > 0 {
+				time.Sleep(rest)
+			}
+		}
+	}()
+
 	wg.Wait()
+	<-churnDone
 	if err := <-reloadErr; err != nil {
 		return nil, err
 	}
@@ -251,6 +316,19 @@ func runInProcess(o *options) (*report, error) {
 		Reloads:         o.reloads,
 	}
 	fill(rep, hist, elapsed)
+	if o.churn > 0 {
+		rep.ChurnOps = churnOps.Load()
+		rep.ChurnFailures = churnFailures.Load()
+		cl := &latency{
+			P50: churnHist.Quantile(0.5),
+			P90: churnHist.Quantile(0.9),
+			P99: churnHist.Quantile(0.99),
+		}
+		if n := churnHist.Count(); n > 0 {
+			cl.Mean = churnHist.Sum() / float64(n)
+		}
+		rep.ChurnLatency = cl
+	}
 	return rep, nil
 }
 

@@ -59,6 +59,39 @@ func TestRunInProcess(t *testing.T) {
 	}
 }
 
+// TestRunChurn races ingest against recommend traffic: the churner must
+// apply deltas without a single recommend or ingest failure, and report a
+// separate ingest latency distribution.
+func TestRunChurn(t *testing.T) {
+	o := &options{
+		seed: 7, markets: 2, enbs: 4,
+		duration: 400 * time.Millisecond,
+		workers:  2, batch: 4, churn: 50,
+		engineWorkers: 1, maxFailures: 0,
+	}
+	rep, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.ChurnOps == 0 {
+		t.Fatalf("requests %d, churn ops %d: both sides must see traffic", rep.Requests, rep.ChurnOps)
+	}
+	if rep.Failures != 0 || rep.ChurnFailures != 0 {
+		t.Fatalf("failures %d, churn failures %d under churn, want 0", rep.Failures, rep.ChurnFailures)
+	}
+	if rep.ChurnLatency == nil || rep.ChurnLatency.P50 <= 0 {
+		t.Fatalf("churn latency missing: %+v", rep.ChurnLatency)
+	}
+
+	// The guards: churn cannot combine with -target or -reloads.
+	if _, err := run(&options{duration: time.Second, churn: 1, target: "http://x"}); err == nil {
+		t.Error("churn + target accepted")
+	}
+	if _, err := run(&options{duration: time.Second, churn: 1, reloads: 1}); err == nil {
+		t.Error("churn + reloads accepted")
+	}
+}
+
 // TestRunHTTP points the harness at a stub auricd and checks both the
 // success accounting and that non-200 responses count as failures.
 func TestRunHTTP(t *testing.T) {

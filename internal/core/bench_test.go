@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"auric/internal/lte"
 	"auric/internal/netsim"
 )
 
@@ -50,6 +51,48 @@ func BenchmarkEngineRecommend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Recommend(c, nbs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestUpsert measures absorbing one carrier through live ingest:
+// each iteration applies a delta with one fresh carrier (cloned from a
+// donor, fully configured, pair relations included) plus the tombstone of
+// the carrier added by the previous iteration, so the live inventory stays
+// at steady state. Compare against BenchmarkIngestRefit — the from-scratch
+// reload the incremental path replaces — for the speedup EXPERIMENTS.md
+// tracks.
+func BenchmarkIngestUpsert(b *testing.B) {
+	w := benchWorld(b)
+	se := NewSharded(w.Schema, Options{Workers: 1})
+	if _, err := se.Load(w.Net, w.X2, w.Current); err != nil {
+		b.Fatal(err)
+	}
+	u := donorUpsert(w.Schema, w.Net, w.X2, w.Current, 5)
+	prev := lte.CarrierID(-1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Delta{Upserts: []Upsert{u}}
+		if prev >= 0 {
+			d.Tombstones = []lte.CarrierID{prev}
+		}
+		res, err := se.Apply(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = res.Assigned[0]
+	}
+}
+
+// BenchmarkIngestRefit is the non-incremental baseline for the same change:
+// a full ShardedEngine.Load retraining every market shard from scratch.
+func BenchmarkIngestRefit(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se := NewSharded(w.Schema, Options{Workers: 1})
+		if _, err := se.Load(w.Net, w.X2, w.Current); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,6 +3,16 @@
 // and recommends configuration values for new carriers from their
 // attributes, optionally restricting the voting evidence to the carrier's
 // X2 geographic neighborhood (the local learner of Sec 3.3).
+//
+// ShardedEngine serves multiple markets — one engine per market, routed
+// by carrier, retrained and swapped atomically (Load) without blocking
+// readers — and is the engine side of the live-ingest path: Apply takes a
+// Delta of carrier upserts and tombstones and patches the affected
+// per-parameter models in place (cf.Model.Update over a copy-on-write
+// dataset extension) instead of retraining, installing the result with
+// the same atomic generation swap a reload uses. Patched state is
+// prediction-equivalent to a from-scratch refit; the ingest tests in this
+// package pin that down.
 package core
 
 import (
@@ -65,6 +75,11 @@ type Options struct {
 	// count affects timing only: results are bit-for-bit identical at any
 	// setting.
 	Workers int
+	// X2 configures the X2 graph rebuild ShardedEngine.Apply performs when
+	// a delta changes the inventory. It must match the options the serving
+	// graph was originally built with; the zero value is the geo package's
+	// defaults, which is what cmd/auricd and netsim use.
+	X2 geo.Options
 }
 
 // Engine learns and serves configuration recommendations.

@@ -1,0 +1,638 @@
+package core
+
+// Live carrier ingest: ShardedEngine.Apply absorbs upserts and tombstones
+// into a new serving generation without retraining. The delta is validated
+// against the current inventory, the network / configuration / X2 graph are
+// rebuilt copy-on-write, and only the affected markets' parameter models are
+// touched — each one patched in place through cf.Model.Update (or refit for
+// that single parameter when its dependency structure shifts). Untouched
+// markets carry their fitted models into the new generation by reference.
+// The generation swap and drain reuse Load's machinery, so readers of the
+// retiring generation finish undisturbed and Apply is atomic: on any error
+// the serving state is exactly what it was.
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"auric/internal/dataset"
+	"auric/internal/geo"
+	"auric/internal/learn"
+	"auric/internal/learn/cf"
+	"auric/internal/lte"
+	"auric/internal/obs"
+	"auric/internal/paramspec"
+)
+
+// Ingest metrics: apply cadence and the patch-vs-refit split, the operator's
+// view of how much retraining live ingest is avoiding (OPERATIONS.md).
+var (
+	ingestApplySeconds = obs.Default().Histogram("auric_ingest_apply_seconds",
+		"Wall-clock seconds per ShardedEngine.Apply call (delta validated, models patched, generation swapped).", obs.DefBuckets)
+	ingestModelsPatched = obs.Default().Counter("auric_ingest_models_patched_total",
+		"Parameter models patched in place by live ingest (no refit).")
+	ingestModelsRefit = obs.Default().Counter("auric_ingest_models_refit_total",
+		"Parameter models refit during live ingest because their chi-square dependency structure shifted.")
+)
+
+// PairValues carries pair-wise parameter values for one directed relation of
+// an upserted carrier.
+type PairValues struct {
+	// To is the neighbor carrier of the relation. It must be live: either an
+	// existing carrier or one created earlier in the same Delta.
+	To lte.CarrierID
+	// Values maps schema indices of pair-wise parameters to their values.
+	Values map[int]float64
+}
+
+// Upsert creates or replaces one carrier.
+type Upsert struct {
+	// Carrier holds the full attribute record. ID -1 creates a new carrier
+	// (Apply assigns the next id); an existing id replaces that carrier's
+	// attributes wholesale. The eNodeB must exist and its market must match
+	// Carrier.Market; an existing carrier cannot change market.
+	Carrier lte.Carrier
+	// Config maps schema indices of singular parameters to values. Omitted
+	// parameters keep their current value (new carriers start at each
+	// parameter's minimum).
+	Config map[int]float64
+	// Pairs configures pair-wise parameters toward specific neighbors. Only
+	// relations that are also X2-adjacent after the delta contribute
+	// training rows.
+	Pairs []PairValues
+}
+
+// Delta is one atomic batch of inventory changes. Apply installs all of it
+// or none of it.
+type Delta struct {
+	Upserts []Upsert
+	// Tombstones removes carriers from service: their rows leave every
+	// model, they disappear from X2 adjacency, and further upserts of the
+	// id are rejected. Ids stay allocated (the inventory is append-only).
+	Tombstones []lte.CarrierID
+}
+
+// ApplyResult reports an installed delta.
+type ApplyResult struct {
+	// Generation is the serving generation the delta produced.
+	Generation int64
+	// Assigned lists the carrier id of each upsert, parallel to
+	// Delta.Upserts (newly created carriers get fresh ids).
+	Assigned []lte.CarrierID
+	// Patched and Refit count the parameter models updated in place versus
+	// refit because their dependency structure shifted.
+	Patched, Refit int
+}
+
+// marketDelta is the per-market slice of a validated Delta, in the terms the
+// model patch consumes: rows to add and sites to tombstone, for the singular
+// and pair-wise bases.
+type marketDelta struct {
+	addIDs   []lte.CarrierID // carriers whose singular row is (re-)added
+	rmSing   []dataset.Site  // singular sites to tombstone
+	addEdges []lte.EdgeKey   // directed relations whose pair row is (re-)added
+	rmPair   []dataset.Site  // pair sites to tombstone
+}
+
+// Apply installs a delta as a new serving generation, patching only the
+// affected markets' models (see the package comment above). It returns once
+// the previous generation has drained, like Load. The delta is atomic:
+// validation errors, and any patch failure, leave the serving state
+// untouched.
+//
+// Apply requires the engine's models to support incremental update (the
+// default cf learner does) and an unsampled training set (Options.MaxSamples
+// must be zero).
+func (se *ShardedEngine) Apply(d Delta) (ApplyResult, error) {
+	se.loadMu.Lock()
+	defer se.loadMu.Unlock()
+	defer obs.Since(ingestApplySeconds, time.Now())
+	cur := se.state.Load()
+	if cur == nil {
+		return ApplyResult{}, fmt.Errorf("core: sharded engine not loaded")
+	}
+	if cur.cfg == nil {
+		return ApplyResult{}, fmt.Errorf("core: serving state has no configuration snapshot")
+	}
+	if se.opts.MaxSamples > 0 {
+		return ApplyResult{}, fmt.Errorf("core: live ingest requires the full training set (MaxSamples is %d)", se.opts.MaxSamples)
+	}
+	if len(d.Upserts) == 0 && len(d.Tombstones) == 0 {
+		return ApplyResult{Generation: cur.gen}, nil
+	}
+
+	assigned, tombs, err := se.validate(cur, d)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+
+	// Copy-on-write inventory: carriers and eNodeBs are fresh slices, and
+	// only eNodeB carrier lists the delta touches are cloned. Tombstoned
+	// carriers keep their slot in Carriers (the id space is append-only)
+	// but leave their eNodeB's list, so X2 adjacency no longer sees them.
+	oldLen := len(cur.net.Carriers)
+	carriers := slices.Clone(cur.net.Carriers)
+	enodebs := slices.Clone(cur.net.ENodeBs)
+	for i := oldLen; i < oldLen+len(d.Upserts); i++ {
+		carriers = append(carriers, lte.Carrier{}) // slots for new ids
+	}
+	carriers = carriers[:oldLen+countNew(assigned, oldLen)]
+	cloned := make(map[lte.ENodeBID]bool)
+	listOf := func(e lte.ENodeBID) []lte.CarrierID {
+		if !cloned[e] {
+			enodebs[e].Carriers = slices.Clone(enodebs[e].Carriers)
+			cloned[e] = true
+		}
+		return enodebs[e].Carriers
+	}
+	removeFrom := func(e lte.ENodeBID, id lte.CarrierID) {
+		l := listOf(e)
+		if i := slices.Index(l, id); i >= 0 {
+			enodebs[e].Carriers = slices.Delete(l, i, i+1)
+		}
+	}
+	for i := range d.Upserts {
+		id := assigned[i]
+		c := d.Upserts[i].Carrier
+		c.ID = id
+		if int(id) < oldLen {
+			if old := cur.net.Carriers[id].ENodeB; old != c.ENodeB {
+				removeFrom(old, id)
+				enodebs[c.ENodeB].Carriers = append(listOf(c.ENodeB), id)
+			}
+		} else {
+			enodebs[c.ENodeB].Carriers = append(listOf(c.ENodeB), id)
+		}
+		carriers[id] = c
+	}
+	for _, id := range tombs {
+		removeFrom(carriers[id].ENodeB, id)
+	}
+	net2 := &lte.Network{Markets: cur.net.Markets, ENodeBs: enodebs, Carriers: carriers}
+	if err := net2.Validate(); err != nil {
+		return ApplyResult{}, fmt.Errorf("core: delta produced an inconsistent network: %w", err)
+	}
+
+	cfg2 := cur.cfg.Clone()
+	cfg2.Grow(len(carriers) - oldLen)
+	for i := range d.Upserts {
+		u := &d.Upserts[i]
+		id := assigned[i]
+		for pi, v := range u.Config {
+			cfg2.Set(id, pi, v)
+		}
+		for _, pv := range u.Pairs {
+			for pi, v := range pv.Values {
+				cfg2.SetPair(id, pv.To, pi, v)
+			}
+		}
+	}
+
+	dead2 := make(map[lte.CarrierID]bool, len(cur.dead)+len(tombs))
+	for id := range cur.dead {
+		dead2[id] = true
+	}
+	for _, id := range tombs {
+		dead2[id] = true
+	}
+
+	// X2 adjacency is strictly intra-market, so a full deterministic rebuild
+	// changes only the affected markets' neighbor lists; every other
+	// market's shard carries over untouched below.
+	x22 := geo.BuildX2(net2, se.opts.X2)
+
+	changed := make(map[lte.CarrierID]bool, len(assigned)+len(tombs))
+	for _, id := range assigned {
+		changed[id] = true
+	}
+	for _, id := range tombs {
+		changed[id] = true
+	}
+	mds := se.marketDeltas(cur, net2, x22, assigned, tombs, changed, dead2, oldLen)
+
+	// Patch the affected markets; rebind the rest onto the new inventory
+	// with their fitted models shared by reference.
+	shards := make([]*Engine, len(net2.Markets))
+	res := ApplyResult{Generation: cur.gen + 1, Assigned: assigned}
+	trained := 0
+	for m := range cur.shards {
+		e := cur.shards[m]
+		if e == nil {
+			continue
+		}
+		trained++
+		md := mds[m]
+		if md == nil {
+			shards[m] = &Engine{opts: e.opts, schema: e.schema, net: net2, x2: x22, models: e.models}
+			continue
+		}
+		keep := se.marketKeep(net2, dead2, m)
+		ne, patched, refit, err := e.patched(net2, x22, cfg2, keep, md)
+		if err != nil {
+			return ApplyResult{}, err
+		}
+		shards[m] = ne
+		res.Patched += patched
+		res.Refit += refit
+	}
+
+	st := &shardState{gen: cur.gen + 1, net: net2, x2: x22, cfg: cfg2, dead: dead2,
+		shards: shards, drained: make(chan struct{})}
+	st.refs.Store(1)
+	se.gen.Store(st.gen)
+	old := se.state.Swap(st)
+	shardSwapsTotal.Inc()
+	shardGeneration.Set(float64(st.gen))
+	shardCount.Set(float64(trained))
+	ingestModelsPatched.Add(uint64(res.Patched))
+	ingestModelsRefit.Add(uint64(res.Refit))
+	if old != nil {
+		old.release() // drop the installed reference; in-flight requests hold theirs
+		<-old.drained
+	}
+	return res, nil
+}
+
+// SnapshotState returns the serving inventory in persistable form: the
+// network (tombstoned carriers still occupy their Carriers slot), the
+// configuration, the sorted tombstone list, and the generation. Compaction
+// writes exactly this state; reloading it and re-applying the tombstones
+// reproduces the serving models (the ingest equivalence tests pin that).
+func (se *ShardedEngine) SnapshotState() (*lte.Network, *lte.Config, []lte.CarrierID, int64, error) {
+	st, err := se.acquire()
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	defer st.release()
+	dead := make([]lte.CarrierID, 0, len(st.dead))
+	for id := range st.dead {
+		dead = append(dead, id)
+	}
+	slices.Sort(dead)
+	return st.net, st.cfg, dead, st.gen, nil
+}
+
+// Tombstoned reports whether a carrier id has been removed from service.
+func (se *ShardedEngine) Tombstoned(id lte.CarrierID) (bool, error) {
+	st, err := se.acquire()
+	if err != nil {
+		return false, err
+	}
+	defer st.release()
+	return st.dead[id], nil
+}
+
+// countNew reports how many of the assigned ids are newly created (at or
+// beyond the previous inventory length).
+func countNew(assigned []lte.CarrierID, oldLen int) int {
+	n := 0
+	for _, id := range assigned {
+		if int(id) >= oldLen {
+			n++
+		}
+	}
+	return n
+}
+
+// validate checks a delta against the current serving state and resolves the
+// id of every upsert. It rejects anything the patch path cannot absorb:
+// unknown eNodeBs, markets without a trained shard, cross-market rehomes,
+// upserts of tombstoned ids, conflicting items, invalid parameter indices,
+// and tombstones that would empty a market.
+func (se *ShardedEngine) validate(cur *shardState, d Delta) (assigned, tombs []lte.CarrierID, err error) {
+	oldLen := len(cur.net.Carriers)
+	tombSet := make(map[lte.CarrierID]bool, len(d.Tombstones))
+	for _, id := range d.Tombstones {
+		if int(id) < 0 || int(id) >= oldLen {
+			return nil, nil, fmt.Errorf("core: tombstone of carrier %d outside the %d known carriers", id, oldLen)
+		}
+		if cur.dead[id] {
+			return nil, nil, fmt.Errorf("core: carrier %d is already tombstoned", id)
+		}
+		if tombSet[id] {
+			return nil, nil, fmt.Errorf("core: carrier %d tombstoned twice in one delta", id)
+		}
+		tombSet[id] = true
+		tombs = append(tombs, id)
+	}
+
+	assigned = make([]lte.CarrierID, len(d.Upserts))
+	touched := make(map[lte.CarrierID]bool, len(d.Upserts))
+	newMarket := make(map[lte.CarrierID]int) // markets of ids created by this delta
+	next := lte.CarrierID(oldLen)
+	for i := range d.Upserts {
+		c := &d.Upserts[i].Carrier
+		if int(c.ENodeB) < 0 || int(c.ENodeB) >= len(cur.net.ENodeBs) {
+			return nil, nil, fmt.Errorf("core: upsert %d references eNodeB %d outside the %d known eNodeBs", i, c.ENodeB, len(cur.net.ENodeBs))
+		}
+		m := cur.net.ENodeBs[c.ENodeB].Market
+		if c.Market != m {
+			return nil, nil, fmt.Errorf("core: upsert %d claims market %d but eNodeB %d is in market %d", i, c.Market, c.ENodeB, m)
+		}
+		if cur.shards[m] == nil {
+			return nil, nil, fmt.Errorf("core: market %d has no trained shard; live ingest needs an initial snapshot covering the market", m)
+		}
+		if c.Face < 0 || c.Face > 2 {
+			return nil, nil, fmt.Errorf("core: upsert %d has face %d, want 0-2", i, c.Face)
+		}
+		var id lte.CarrierID
+		switch {
+		case c.ID == -1:
+			id = next
+			next++
+			newMarket[id] = m
+		case int(c.ID) >= 0 && int(c.ID) < oldLen:
+			id = c.ID
+			if cur.dead[id] {
+				return nil, nil, fmt.Errorf("core: carrier %d is tombstoned and cannot be upserted", id)
+			}
+			if tombSet[id] {
+				return nil, nil, fmt.Errorf("core: carrier %d both upserted and tombstoned in one delta", id)
+			}
+			if cur.net.Carriers[id].Market != m {
+				return nil, nil, fmt.Errorf("core: carrier %d cannot move from market %d to market %d", id, cur.net.Carriers[id].Market, m)
+			}
+		default:
+			return nil, nil, fmt.Errorf("core: upsert %d has carrier id %d; use -1 to create or an existing id to replace", i, c.ID)
+		}
+		if touched[id] {
+			return nil, nil, fmt.Errorf("core: carrier %d upserted twice in one delta", id)
+		}
+		touched[id] = true
+		assigned[i] = id
+
+		schema := se.schema
+		for pi := range d.Upserts[i].Config {
+			if pi < 0 || pi >= schema.Len() || schema.At(pi).Kind != paramspec.Singular {
+				return nil, nil, fmt.Errorf("core: upsert %d configures invalid singular parameter index %d", i, pi)
+			}
+		}
+		for _, pv := range d.Upserts[i].Pairs {
+			for pi := range pv.Values {
+				if pi < 0 || pi >= schema.Len() || schema.At(pi).Kind != paramspec.PairWise {
+					return nil, nil, fmt.Errorf("core: upsert %d configures invalid pair-wise parameter index %d", i, pi)
+				}
+			}
+			to := pv.To
+			if to == id {
+				return nil, nil, fmt.Errorf("core: upsert %d configures a self relation on carrier %d", i, id)
+			}
+			var toMarket int
+			switch {
+			case int(to) >= 0 && int(to) < oldLen && !cur.dead[to] && !tombSet[to]:
+				toMarket = cur.net.Carriers[to].Market
+			case int(to) >= oldLen && int(to) < int(next):
+				toMarket = newMarket[to]
+			default:
+				return nil, nil, fmt.Errorf("core: upsert %d configures a relation to carrier %d, which is not live", i, to)
+			}
+			if toMarket != m {
+				return nil, nil, fmt.Errorf("core: upsert %d configures a cross-market relation %d -> %d", i, id, to)
+			}
+		}
+	}
+
+	// A market must keep at least one live carrier: the patch path cannot
+	// train an emptied market back from nothing.
+	delta := make(map[int]int)
+	for _, id := range tombs {
+		delta[cur.net.Carriers[id].Market]--
+	}
+	for _, m := range newMarket {
+		delta[m]++
+	}
+	for m, dn := range delta {
+		if dn >= 0 {
+			continue
+		}
+		live := 0
+		for i := range cur.net.Carriers {
+			if cur.net.Carriers[i].Market == m && !cur.dead[lte.CarrierID(i)] {
+				live++
+			}
+		}
+		if live+dn <= 0 {
+			return nil, nil, fmt.Errorf("core: delta would leave market %d with no live carriers", m)
+		}
+	}
+	return assigned, tombs, nil
+}
+
+// marketKeep is the effective training filter of one market's shard over the
+// new inventory: the market partition, minus tombstones, composed with the
+// engine-level vendor and keep options — exactly what a fresh Load over the
+// same state would train on.
+func (se *ShardedEngine) marketKeep(net *lte.Network, dead map[lte.CarrierID]bool, m int) dataset.Filter {
+	base, vendor := se.opts.Keep, se.opts.Vendor
+	return func(id lte.CarrierID) bool {
+		c := &net.Carriers[id]
+		return c.Market == m && !dead[id] &&
+			(vendor == "" || c.Vendor == vendor) &&
+			(base == nil || base(id))
+	}
+}
+
+// marketDeltas slices the validated delta per affected market, diffing old
+// and new X2 adjacency to find every pair row the change invalidates. A row
+// is re-added (tombstone + append) whenever either endpoint's attributes
+// changed, and added or removed when the adjacency itself changed — which
+// can happen to carriers far from the delta when a new carrier pushes a
+// neighbor past the per-carrier cap.
+func (se *ShardedEngine) marketDeltas(cur *shardState, net2 *lte.Network, x22 *geo.Graph,
+	assigned, tombs []lte.CarrierID, changed, dead2 map[lte.CarrierID]bool, oldLen int) map[int]*marketDelta {
+	mds := make(map[int]*marketDelta)
+	md := func(m int) *marketDelta {
+		if mds[m] == nil {
+			mds[m] = &marketDelta{}
+		}
+		return mds[m]
+	}
+	for _, id := range assigned {
+		m := md(net2.Carriers[id].Market)
+		m.addIDs = append(m.addIDs, id)
+		if int(id) < oldLen {
+			// Replacing an existing carrier: its old singular row retires.
+			m.rmSing = append(m.rmSing, dataset.Site{From: id, To: -1})
+		}
+	}
+	for _, id := range tombs {
+		m := md(net2.Carriers[id].Market)
+		m.rmSing = append(m.rmSing, dataset.Site{From: id, To: -1})
+	}
+	for _, m := range mds {
+		slices.Sort(m.addIDs)
+	}
+
+	// Pair-row diff over every carrier of the affected markets.
+	for i := range net2.Carriers {
+		id := lte.CarrierID(i)
+		m, ok := mds[net2.Carriers[i].Market]
+		if !ok {
+			continue
+		}
+		var oldList []lte.CarrierID
+		if i < oldLen && !cur.dead[id] {
+			oldList = cur.x2.CarrierNeighbors(id)
+		}
+		var newList []lte.CarrierID
+		if !dead2[id] {
+			newList = x22.CarrierNeighbors(id)
+		}
+		switch {
+		case changed[id]:
+			for _, b := range oldList {
+				m.rmPair = append(m.rmPair, dataset.Site{From: id, To: b})
+			}
+			for _, b := range newList {
+				m.addEdges = append(m.addEdges, lte.EdgeKey{From: id, To: b})
+			}
+		case slices.Equal(oldList, newList):
+			for _, b := range oldList {
+				if changed[b] {
+					m.rmPair = append(m.rmPair, dataset.Site{From: id, To: b})
+					m.addEdges = append(m.addEdges, lte.EdgeKey{From: id, To: b})
+				}
+			}
+		default:
+			oldSet := make(map[lte.CarrierID]bool, len(oldList))
+			for _, b := range oldList {
+				oldSet[b] = true
+			}
+			newSet := make(map[lte.CarrierID]bool, len(newList))
+			for _, b := range newList {
+				newSet[b] = true
+			}
+			for _, b := range oldList {
+				if !newSet[b] || changed[b] {
+					m.rmPair = append(m.rmPair, dataset.Site{From: id, To: b})
+				}
+			}
+			for _, b := range newList {
+				if !oldSet[b] || changed[b] {
+					m.addEdges = append(m.addEdges, lte.EdgeKey{From: id, To: b})
+				}
+			}
+		}
+	}
+	return mds
+}
+
+// cfModel asserts one parameter model supports incremental update.
+func (e *Engine) cfModel(pi int) (*cf.Model, error) {
+	m, ok := e.models[pi].(*cf.Model)
+	if !ok {
+		return nil, fmt.Errorf("core: live ingest requires cf models; parameter %s has %T", e.schema.At(pi).Name, e.models[pi])
+	}
+	return m, nil
+}
+
+// patched returns a copy of the engine over the new inventory with its
+// models absorbed into the market delta: the shared singular and pair-wise
+// columnar bases are extended copy-on-write once each, then every parameter
+// model is updated sequentially (appends to the shared site slices must not
+// race). Models whose base saw no change carry over by reference.
+func (e *Engine) patched(net *lte.Network, x2 *geo.Graph, cfg *lte.Config, keep dataset.Filter,
+	md *marketDelta) (*Engine, int, int, error) {
+	opts := e.opts
+	opts.Keep = keep
+	ne := &Engine{opts: opts, schema: e.schema, net: net, x2: x2}
+	models := make([]learn.Model, len(e.models))
+	copy(models, e.models)
+	patched, refit := 0, 0
+
+	// Rows only exist for carriers the shard trains on; the keep filter
+	// drops adds outside it (tombstones of filtered carriers match no row
+	// and are ignored by Update).
+	addIDs := md.addIDs
+	if keep != nil {
+		addIDs = make([]lte.CarrierID, 0, len(md.addIDs))
+		for _, id := range md.addIDs {
+			if keep(id) {
+				addIDs = append(addIDs, id)
+			}
+		}
+	}
+	addEdges := md.addEdges
+	if keep != nil {
+		addEdges = make([]lte.EdgeKey, 0, len(md.addEdges))
+		for _, k := range md.addEdges {
+			if keep(k.From) {
+				addEdges = append(addEdges, k)
+			}
+		}
+	}
+
+	singular, pair := e.schema.Singular(), e.schema.PairWise()
+	if len(singular) > 0 && (len(addIDs) > 0 || len(md.rmSing) > 0) {
+		rows := make([][]string, len(addIDs))
+		for i, id := range addIDs {
+			rows[i] = net.Carriers[id].AttributeVector()
+		}
+		rep, err := e.cfModel(singular[0])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		ext := dataset.ExtendBase(rep.Table(), rows)
+		for _, pi := range singular {
+			m, err := e.cfModel(pi)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			t2 := ext.Rebase(m.Table())
+			spec := e.schema.At(pi)
+			for k, id := range addIDs {
+				v := cfg.Get(id, pi)
+				t2.AppendSample(ext.FirstRow()+int32(k), spec.Format(v), v, dataset.Site{From: id, To: -1})
+			}
+			nm, ok, err := m.Update(t2, md.rmSing)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("core: patching %s: %w", spec.Name, err)
+			}
+			models[pi] = nm
+			if ok {
+				patched++
+			} else {
+				refit++
+			}
+		}
+	}
+	if len(pair) > 0 && (len(addEdges) > 0 || len(md.rmPair) > 0) {
+		rows := make([][]string, len(addEdges))
+		for i, k := range addEdges {
+			rows[i] = lte.PairAttributeVector(&net.Carriers[k.From], &net.Carriers[k.To])
+		}
+		rep, err := e.cfModel(pair[0])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		ext := dataset.ExtendBase(rep.Table(), rows)
+		for _, pi := range pair {
+			m, err := e.cfModel(pi)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			t2 := ext.Rebase(m.Table())
+			spec := e.schema.At(pi)
+			for k, key := range addEdges {
+				v, ok := cfg.GetPair(key.From, key.To, pi)
+				if !ok {
+					continue // unconfigured relations carry no sample, as at build
+				}
+				t2.AppendSample(ext.FirstRow()+int32(k), spec.Format(v), v, dataset.Site{From: key.From, To: key.To})
+			}
+			nm, ok, err := m.Update(t2, md.rmPair)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("core: patching %s: %w", spec.Name, err)
+			}
+			models[pi] = nm
+			if ok {
+				patched++
+			} else {
+				refit++
+			}
+		}
+	}
+	ne.models = models
+	return ne, patched, refit, nil
+}

@@ -19,7 +19,7 @@ var (
 	shardLoadSeconds = obs.Default().Histogram("auric_shard_load_seconds",
 		"Wall-clock seconds per ShardedEngine.Load call (all market shards trained + swapped).", obs.DefBuckets)
 	shardSwapsTotal = obs.Default().Counter("auric_shard_swaps_total",
-		"Snapshot generations installed by ShardedEngine.Load.")
+		"Snapshot generations installed by ShardedEngine.Load or Apply.")
 	shardGeneration = obs.Default().Gauge("auric_shard_generation",
 		"Snapshot generation currently serving (increments on every reload).")
 	shardCount = obs.Default().Gauge("auric_shard_engines",
@@ -61,9 +61,14 @@ type ShardedEngine struct {
 // shardState is one immutable serving generation: the snapshot inventory
 // and its trained per-market engines, plus the drain bookkeeping.
 type shardState struct {
-	gen    int64
-	net    *lte.Network
-	x2     *geo.Graph
+	gen int64
+	net *lte.Network
+	x2  *geo.Graph
+	cfg *lte.Config
+	// dead marks carriers tombstoned by live ingest (Apply); they keep
+	// their Carriers slot but serve no evidence and reject further
+	// upserts. nil for generations installed by Load.
+	dead   map[lte.CarrierID]bool
 	shards []*Engine // indexed by market id; nil for carrier-less markets
 	// refs counts the installed reference (1) plus every in-flight
 	// request; when it reaches zero after retirement the generation is
@@ -100,7 +105,7 @@ func (se *ShardedEngine) Load(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) 
 	se.loadMu.Lock()
 	defer se.loadMu.Unlock()
 	defer obs.Since(shardLoadSeconds, time.Now())
-	st := &shardState{gen: se.gen.Load() + 1, net: net, x2: x2, drained: make(chan struct{})}
+	st := &shardState{gen: se.gen.Load() + 1, net: net, x2: x2, cfg: cfg, drained: make(chan struct{})}
 	st.refs.Store(1)
 	st.shards = make([]*Engine, len(net.Markets))
 	carriers := make([]int, len(net.Markets))

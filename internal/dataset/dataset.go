@@ -14,6 +14,14 @@
 // exact matching, contingency counting and distance computation are int32
 // operations over dense arrays — while Row/At recover the string view for
 // explanations and baselines.
+//
+// The shared base is also how live ingest stays cheap: ExtendBase grows a
+// published base copy-on-write (new rows appended past the published
+// length, dictionaries cloned only for columns that saw a new value), and
+// Extension.Rebase moves every table derived from the old base onto the
+// grown one without copying its rows — the data-layer half of the
+// incremental-fit path, where cf.Model.Update patches models over the
+// rebased tables while readers of the previous generation keep serving.
 package dataset
 
 import (

@@ -42,3 +42,16 @@ func (d *Dict) String(code int32) string { return d.strs[code] }
 
 // Len reports the number of distinct values (the column's cardinality).
 func (d *Dict) Len() int { return len(d.strs) }
+
+// CloneForIntern returns a dictionary that assigns the same codes as d but
+// owns its index map, so new values can be interned into the clone without
+// mutating d. The string table is shared copy-on-write (append extends only
+// the clone's view), which is how live ingest grows a column's value set
+// while concurrent readers of the published base keep a consistent view.
+func (d *Dict) CloneForIntern() *Dict {
+	idx := make(map[string]int32, len(d.index)+1)
+	for k, v := range d.index {
+		idx[k] = v
+	}
+	return &Dict{index: idx, strs: d.strs}
+}

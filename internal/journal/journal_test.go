@@ -1,0 +1,180 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *Journal, kind, data string) Entry {
+	t.Helper()
+	e, err := j.Append(kind, json.RawMessage(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestJournalRoundTrip pins the replay contract: every acknowledged append
+// comes back from Open, in order, with its sequence number, kind, and
+// payload intact, across multiple close/reopen cycles.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	j, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || j.NextSeq() != 1 {
+		t.Fatalf("fresh journal: %d entries, next seq %d", len(entries), j.NextSeq())
+	}
+	mustAppend(t, j, "delta", `{"upserts":[{"eNodeB":3}]}`)
+	mustAppend(t, j, "delta", `{"tombstones":[7]}`)
+	if j.Entries() != 2 || j.Size() == 0 {
+		t.Fatalf("Entries() = %d, Size() = %d", j.Entries(), j.Size())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, entries, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(entries) != 2 {
+		t.Fatalf("replayed %d entries, want 2", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != int64(i+1) || e.Kind != "delta" || e.Time.IsZero() {
+			t.Fatalf("entry %d: %+v", i, e)
+		}
+	}
+	if string(entries[1].Data) != `{"tombstones":[7]}` {
+		t.Fatalf("entry 1 data: %s", entries[1].Data)
+	}
+	// Appends continue the sequence after replay.
+	if e := mustAppend(t, j, "delta", `{}`); e.Seq != 3 {
+		t.Fatalf("post-replay seq = %d, want 3", e.Seq)
+	}
+}
+
+// TestJournalCrashTail simulates a crash mid-append: a partial JSON line at
+// the end of the file. Open must keep every complete entry, truncate the
+// tail from disk, and leave the journal appendable.
+func TestJournalCrashTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "delta", `{"upserts":[]}`)
+	mustAppend(t, j, "delta", `{"tombstones":[1]}`)
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"ts":"2026-08-08T00:00:00Z","kind":"del`) // torn write
+	f.Close()
+
+	j, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(entries) != 2 {
+		t.Fatalf("replayed %d entries, want 2", len(entries))
+	}
+	if j.Dropped() == 0 {
+		t.Fatal("Dropped() = 0, want the torn bytes reported")
+	}
+	if e := mustAppend(t, j, "delta", `{}`); e.Seq != 3 {
+		t.Fatalf("seq after truncation = %d, want 3", e.Seq)
+	}
+	// The truncation is durable: a further reopen sees three clean entries.
+	j.Close()
+	j, entries, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if len(entries) != 3 || j.Dropped() != 0 {
+		t.Fatalf("after clean reopen: %d entries, dropped %d", len(entries), j.Dropped())
+	}
+}
+
+// TestJournalMidFileCorruption: garbage followed by valid entries is not a
+// crash tail — replaying past it would silently skip history, so Open must
+// refuse.
+func TestJournalMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	good := `{"seq":1,"ts":"2026-08-08T00:00:00Z","kind":"delta","data":{}}` + "\n"
+	bad := "not json\n"
+	tail := `{"seq":2,"ts":"2026-08-08T00:00:01Z","kind":"delta","data":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(good+bad+tail), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil || !strings.Contains(err.Error(), "refusing to skip") {
+		t.Fatalf("err = %v, want mid-file corruption refusal", err)
+	}
+}
+
+// TestJournalSequenceGap: a well-formed entry whose sequence number jumps
+// means a lost line, not a torn one — also a refusal.
+func TestJournalSequenceGap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	lines := `{"seq":1,"ts":"2026-08-08T00:00:00Z","kind":"delta","data":{}}` + "\n" +
+		`{"seq":3,"ts":"2026-08-08T00:00:01Z","kind":"delta","data":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("err = %v, want sequence gap", err)
+	}
+}
+
+// TestJournalReset pins compaction semantics: the file empties, the entry
+// count and size go to zero, but sequence numbers keep counting.
+func TestJournalReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, "delta", `{}`)
+	mustAppend(t, j, "delta", `{}`)
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != 0 || j.Entries() != 0 {
+		t.Fatalf("after reset: size %d, entries %d", j.Size(), j.Entries())
+	}
+	if e := mustAppend(t, j, "delta", `{}`); e.Seq != 3 {
+		t.Fatalf("seq after reset = %d, want 3", e.Seq)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != st.Size() {
+		t.Fatalf("tracked size %d != file size %d", j.Size(), st.Size())
+	}
+
+	// Reopen after a reset: the file starts at seq 3, which Open takes at
+	// face value (the fold fence lives in the snapshot, not here).
+	j.Close()
+	j, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(entries) != 1 || entries[0].Seq != 3 {
+		t.Fatalf("reopen after reset: %+v", entries)
+	}
+	if e := mustAppend(t, j, "delta", `{}`); e.Seq != 4 {
+		t.Fatalf("seq after reopen = %d, want 4", e.Seq)
+	}
+}

@@ -27,6 +27,19 @@
 // escapes into fitted state, so models stay immutable and safe for any
 // number of concurrent readers.
 //
+// Fitted models are also incrementally updatable, which is the learner's
+// role in the live ingest path: a Model retains the dense per-column count
+// tables Fit selected dependencies from, and Update patches them — plus the
+// posting lists, the exact-match index and the label tallies — for a batch
+// of appended and tombstoned rows, producing a new immutable Model without
+// touching the old one (copy-on-write throughout, so readers of the
+// previous generation are undisturbed). Because Update re-derives the
+// dependency set and relaxation ordering from the same counts with the same
+// float operations as Fit, a patched model's predictions are byte-identical
+// to a from-scratch refit over the surviving rows; when the dependency set
+// itself shifts, Update falls back to refitting this one parameter, still
+// far cheaper than retraining the world.
+//
 // The paper leaves two situations unspecified, which this implementation
 // resolves as follows (every choice is visible in the prediction's
 // explanation, and DESIGN.md discusses the deviations):
@@ -131,15 +144,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// fitScratch is the arena-style working storage of one Fit call: one
-// resettable count table, one column gather buffer and the counting-sort
-// cursors and key arena the match structures are built through. Fits
+// fitScratch is the arena-style working storage of one Fit call: the
+// column gather buffer and the counting-sort cursors and key arena the
+// match structures are built through. (The chi-square count tables are NOT
+// scratch — they are retained on the Model for incremental Update.) Fits
 // running on the engine's worker pool draw scratch from fitScratchPool and
 // return it when done, so the 65-parameter train fan-out reuses a handful
 // of arenas instead of allocating per column. Nothing in a fitScratch may
 // be retained by the fitted Model.
 type fitScratch struct {
-	ct       stats.CountTable
 	colBuf   []int32 // gather space for derived-view columns
 	cnt      []int32 // per-code counters, then write cursors
 	off      []int32 // per-code offsets into the posting arena
@@ -182,8 +195,59 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	for c := range labels {
 		labels[c] = labelDict.String(int32(c))
 	}
+	labelCounts := make([]int32, numLabels)
+	for _, c := range y {
+		labelCounts[c]++
+	}
 
-	m := &Model{t: t, opts: opts, labels: labels, labelCodes: y}
+	m := &Model{
+		t: t, opts: opts,
+		labels: labels, labelCodes: y,
+		labelDict: labelDict, labelCounts: labelCounts,
+		live: n,
+	}
+
+	// Count every column against the labels into a persistent dense table.
+	// These tables are fitted state, not scratch: computeDeps selects and
+	// orders the dependent columns from them here, and Update patches them
+	// incrementally on live ingest — including columns that are not
+	// dependent today, since added rows can make them dependent tomorrow.
+	m.colCounts = make([]*stats.CountTable, ncols)
+	for c := 0; c < ncols; c++ {
+		codes := t.ColumnCodesScratch(sc.colBuf, c)
+		ct := stats.NewCountTable(t.Dict(c).Len(), numLabels)
+		for i, code := range codes {
+			ct.Add(int(code), int(y[i]))
+		}
+		m.colCounts[c] = ct
+	}
+	m.computeDeps()
+
+	m.buildPostings(sc, n)
+	m.all = make([]int32, n)
+	for i := range m.all {
+		m.all[i] = int32(i)
+	}
+	m.buildIndex(sc, n)
+	m.globalLabel, m.globalShare = learn.MajorityLabel(t.Labels)
+	return m, nil
+}
+
+// computeDeps derives the dependent-column set, its ladder ordering and the
+// per-value share tables from the model's persistent count tables and live
+// row count. Fit and Update share this code path, which is what makes an
+// incrementally patched model bit-identical to a refit: both run the same
+// float operations over the same counts.
+//
+// Strongest association first; relaxation drops from the tail. The
+// significance test follows the paper's raw chi-square criterion; the
+// *ordering* uses Cramér's V so that high-cardinality attributes (e.g.
+// tracking area) rank by how much they actually explain, not by their
+// degree-of-freedom count. The stable sort keeps equal statistics in
+// column order.
+func (m *Model) computeDeps() {
+	ncols := m.t.NumCols()
+	numLabels := len(m.labels)
 	m.valueShare = make([][]float64, ncols)
 	m.valuePin = make([][]float64, ncols)
 
@@ -194,44 +258,27 @@ func (l *Learner) Fit(t *dataset.Table) (learn.Model, error) {
 	}
 	var deps []depCol
 	for c := 0; c < ncols; c++ {
-		codes := t.ColumnCodesScratch(sc.colBuf, c)
-		sc.ct.Reset(t.Dict(c).Len(), numLabels)
-		for i, code := range codes {
-			sc.ct.Add(int(code), int(y[i]))
-		}
-		stat, df := sc.ct.ChiSquare()
+		ct := m.colCounts[c]
+		stat, df := ct.ChiSquare()
 		if df == 0 {
 			continue
 		}
-		if stat > stats.ChiSquareCritical(df, opts.Alpha) {
-			deps = append(deps, depCol{c, sc.ct.CramersV(stat)})
+		if stat > stats.ChiSquareCritical(df, m.opts.Alpha) {
+			deps = append(deps, depCol{c, ct.CramersV(stat)})
 			// The count table already holds this column's value/label
 			// co-occurrences; derive the relaxation-ordering shares here
 			// instead of re-counting the column later.
-			m.fitValueShares(c, &sc.ct, n, numLabels)
+			m.fitValueShares(c, ct, m.live, numLabels)
 		}
 	}
-	// Strongest association first; relaxation drops from the tail. The
-	// significance test (above) follows the paper's raw chi-square
-	// criterion; the *ordering* uses Cramér's V so that high-cardinality
-	// attributes (e.g. tracking area) rank by how much they actually
-	// explain, not by their degree-of-freedom count. The stable sort keeps
-	// equal statistics in column order.
 	sort.SliceStable(deps, func(a, b int) bool { return deps[a].stat > deps[b].stat })
 
+	m.deps = make([]int, 0, len(deps))
+	m.depStats = make([]float64, 0, len(deps))
 	for _, d := range deps {
 		m.deps = append(m.deps, d.col)
 		m.depStats = append(m.depStats, d.stat)
 	}
-
-	m.buildPostings(sc, n)
-	m.all = make([]int32, n)
-	for i := range m.all {
-		m.all[i] = int32(i)
-	}
-	m.buildIndex(sc, n)
-	m.globalLabel, m.globalShare = learn.MajorityLabel(t.Labels)
-	return m, nil
 }
 
 // fitValueShares records, for one dependent column, the population share
@@ -348,18 +395,25 @@ func (m *Model) buildIndex(sc *fitScratch, n int) {
 		groupN[g]++
 	}
 	groups := len(groupN)
-	m.idxOff = make([]int32, groups+1)
+	idxOff := make([]int32, groups+1)
 	for g := 0; g < groups; g++ {
-		m.idxOff[g+1] = m.idxOff[g] + groupN[g]
+		idxOff[g+1] = idxOff[g] + groupN[g]
 	}
-	m.idxRows = make([]int32, n)
-	copy(groupN, m.idxOff[:groups]) // groupN becomes the write cursor
+	idxRows := make([]int32, n)
+	copy(groupN, idxOff[:groups]) // groupN becomes the write cursor
 	for i := 0; i < n; i++ {
 		g := rowGroup[i]
-		m.idxRows[groupN[g]] = int32(i)
+		idxRows[groupN[g]] = int32(i)
 		groupN[g]++
 	}
 	sc.groupN = groupN[:0]
+	// Publish per-group row lists (full-capacity views into the arena, so
+	// no group can grow into its neighbor). Update patches groups
+	// individually by swapping list headers, leaving the arena shared.
+	m.idxLists = make([][]int32, groups)
+	for g := 0; g < groups; g++ {
+		m.idxLists[g] = idxRows[idxOff[g]:idxOff[g+1]:idxOff[g+1]]
+	}
 }
 
 // rareValueShare is the population share below which an observed attribute
@@ -436,26 +490,40 @@ func appendCode(b []byte, c int32) []byte {
 // sync.Pool, so one Model is safe for concurrent use by any number of
 // goroutines — the engine's recommendation fan-out relies on this. The
 // per-site row lists behind ScopeFrom are built lazily exactly once.
+//
+// Update never mutates a published Model: it produces a fresh Model
+// sharing unchanged state copy-on-write, so ingest generations coexist
+// with in-flight predictions against older generations.
 type Model struct {
 	t        *dataset.Table
 	opts     Options
 	deps     []int     // dependent columns, strongest first
 	depStats []float64 // matching Cramér's V per dependent column
 
-	labels     []string // label string per label code, first-seen order
-	labelCodes []int32  // label code per training row
+	labels      []string      // label string per label code, first-seen order
+	labelCodes  []int32       // label code per training row (incl. dead rows)
+	labelDict   *dataset.Dict // label string -> code, COW-extended by Update
+	labelCounts []int32       // live rows per label code
+
+	// colCounts[c] is the dense (code, label) contingency table of column c
+	// over the live rows — the tables the chi-square dependency selection
+	// ran on, retained so Update can patch counts instead of recounting.
+	colCounts []*stats.CountTable
 
 	// index maps the canonical full dependent-set code key to a group id;
-	// idxRows[idxOff[g]:idxOff[g+1]] lists the group's rows ascending —
-	// the drop-0 fast path. Keys are substrings of one shared string.
-	index   map[string]int32
-	idxOff  []int32
-	idxRows []int32
-	// post[c][code] lists the rows whose column c holds code, ascending;
-	// populated for dependent columns only, sub-sliced from one arena per
-	// column. Relaxed ladder levels intersect these lists smallest-first.
+	// idxLists[g] lists group g's live rows ascending — the drop-0 fast
+	// path. Keys are substrings of one shared string; indexAdd overlays
+	// keys first seen by Update (checked only when non-nil, so the fit-only
+	// hot path stays a single lookup).
+	index    map[string]int32
+	indexAdd map[string]int32
+	idxLists [][]int32
+	// post[c][code] lists the live rows whose column c holds code,
+	// ascending; populated for dependent columns only, sub-sliced from one
+	// arena per column at fit and patched per-list by Update. Relaxed
+	// ladder levels intersect these lists smallest-first.
 	post [][][]int32
-	// all is the ascending list of every row: the posting list of the
+	// all is the ascending list of every live row: the posting list of the
 	// empty dependent set.
 	all []int32
 
@@ -464,6 +532,12 @@ type Model struct {
 	// (both drive query-time relaxation ordering; dependent columns only).
 	valueShare [][]float64
 	valuePin   [][]float64
+
+	// dead marks tombstoned table rows (nil when none): the row stays in
+	// the table so row ids remain stable across generations, but it is
+	// absent from every match structure and scope. live counts the rest.
+	dead []bool
+	live int
 
 	// siteRows maps a From carrier to its ascending training-row list,
 	// built lazily on the first ScopeFrom call (sync.Once keeps the model
@@ -474,6 +548,9 @@ type Model struct {
 	globalLabel string
 	globalShare float64
 }
+
+// isLive reports whether table row i is not tombstoned.
+func (m *Model) isLive(i int) bool { return m.dead == nil || !m.dead[i] }
 
 // predictScratch is the pooled working storage of one prediction: the
 // query encoding, relaxation ordering, exact-match key, intersection
@@ -554,6 +631,14 @@ func (m *Model) encode(sc *predictScratch, row []string) []int32 {
 // rows can be predicted without a string round-trip.
 func (m *Model) EncodesTable(t *dataset.Table) bool { return t != nil && t.SharesBase(m.t) }
 
+// Table returns the learning table the model was fitted over. The live
+// ingest path uses it as the extension anchor (dataset.ExtendBase) when
+// patching the model through Update; treat it as read-only.
+func (m *Model) Table() *dataset.Table { return m.t }
+
+// Live reports the number of live (non-tombstoned) training rows.
+func (m *Model) Live() int { return m.live }
+
 // EncodeRow implements learn.CodesModel: the full per-column encoding of a
 // query row against the model's base dictionaries (-1 for unseen values).
 // Any model fitted over the same columnar base accepts the result via
@@ -596,11 +681,14 @@ type Scope struct {
 // NumRows implements learn.Scope.
 func (s *Scope) NumRows() int { return len(s.rows) }
 
-// buildSiteRows groups the training rows by From carrier; rows are
+// buildSiteRows groups the live training rows by From carrier; rows are
 // appended in ascending order, so every per-site list is sorted.
 func (m *Model) buildSiteRows() {
 	rows := make(map[lte.CarrierID][]int32, 64)
 	for i, s := range m.t.Sites {
+		if !m.isLive(i) {
+			continue
+		}
 		rows[s.From] = append(rows[s.From], int32(i))
 	}
 	m.siteRows = rows
@@ -690,7 +778,7 @@ func (m *Model) PredictWeighted(row []string, allowed func(dataset.Site) bool, w
 		}
 		rows := ps.scope[:0]
 		for i, s := range m.t.Sites {
-			if allowed(s) {
+			if m.isLive(i) && allowed(s) {
 				rows = append(rows, int32(i))
 			}
 		}
@@ -923,7 +1011,11 @@ func (m *Model) matches(ps *predictScratch, codes []int32, deps []int, full bool
 		ps.kb = kb
 		var cands []int32
 		if g, ok := m.index[string(kb)]; ok {
-			cands = m.idxRows[m.idxOff[g]:m.idxOff[g+1]]
+			cands = m.idxLists[g]
+		} else if m.indexAdd != nil {
+			if g, ok := m.indexAdd[string(kb)]; ok {
+				cands = m.idxLists[g]
+			}
 		}
 		if !scoped || len(cands) == 0 {
 			return cands

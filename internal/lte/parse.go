@@ -1,0 +1,49 @@
+package lte
+
+import "fmt"
+
+// ParseCarrierType is the inverse of CarrierType.String, for operator-facing
+// wire formats (the live-ingest API accepts enum attributes as their
+// canonical names, not internal integer codes). The empty string is the
+// zero value ("standard").
+func ParseCarrierType(s string) (CarrierType, error) {
+	switch s {
+	case "", "standard":
+		return Standard, nil
+	case "firstnet":
+		return FirstNet, nil
+	case "nb-iot":
+		return NBIoT, nil
+	}
+	return 0, fmt.Errorf("lte: unknown carrier type %q (want standard, firstnet or nb-iot)", s)
+}
+
+// ParseMorphology is the inverse of Morphology.String. The empty string is
+// the zero value ("urban").
+func ParseMorphology(s string) (Morphology, error) {
+	switch s {
+	case "", "urban":
+		return Urban, nil
+	case "suburban":
+		return Suburban, nil
+	case "rural":
+		return Rural, nil
+	}
+	return 0, fmt.Errorf("lte: unknown morphology %q (want urban, suburban or rural)", s)
+}
+
+// ParseTerrain is the inverse of Terrain.String. The empty string is the
+// zero value ("flat").
+func ParseTerrain(s string) (Terrain, error) {
+	switch s {
+	case "", "flat":
+		return FlatTerrain, nil
+	case "mountain":
+		return MountainFacing, nil
+	case "tall-buildings":
+		return TallBuildings, nil
+	case "freeway":
+		return FreewayFacing, nil
+	}
+	return 0, fmt.Errorf("lte: unknown terrain %q (want flat, mountain, tall-buildings or freeway)", s)
+}

@@ -4,6 +4,14 @@
 // ground-truth oracle of generated worlds is deliberately not part of the
 // format: a snapshot carries exactly what an operator has (topology,
 // attributes, current configuration), nothing the generator knows.
+//
+// The full form (SaveFull/LoadFull and the Write/Read twins) extends the
+// format for the live-ingest path: it carries the tombstoned carrier ids
+// and the delta-journal fence — the last journal sequence number folded
+// in — which makes it the target of auricd's journal compaction and the
+// baseline its startup replay continues from. Save/Load refuse
+// tombstone-carrying snapshots so pre-ingest consumers cannot silently
+// resurrect deleted carriers.
 package snapshot
 
 import (
@@ -45,6 +53,17 @@ type file struct {
 	Singular [][]float64 `json:"singular"`
 	// Pairs holds configured relations.
 	Pairs []pairValues `json:"pairs"`
+	// Tombstones lists carriers that are present in the inventory (ids are
+	// append-only) but retired by live ingest. A compacted snapshot carries
+	// them so a restart can reconstruct the serving state exactly: load,
+	// then tombstone. Optional; plain auricgen snapshots have none.
+	Tombstones []lte.CarrierID `json:"tombstones,omitempty"`
+	// JournalSeq is the last delta-journal sequence number folded into this
+	// snapshot (0 when none). Startup replays only journal entries with a
+	// higher sequence, which makes compaction crash-safe: a crash between
+	// the snapshot write and the journal reset would otherwise re-apply
+	// folded deltas on restart.
+	JournalSeq int64 `json:"journalSeq,omitempty"`
 }
 
 // column is one interned string column: the dictionary of distinct values
@@ -141,27 +160,52 @@ type pairValues struct {
 
 // Save writes the network and configuration to path as gzipped JSON.
 func Save(path string, net *lte.Network, cfg *lte.Config) error {
-	f, err := os.Create(path)
+	return SaveFull(path, net, cfg, nil, 0)
+}
+
+// SaveFull writes a compacted snapshot: the full inventory plus the
+// tombstoned carrier ids and the last journal sequence number it folds in.
+// The file is written to a temporary sibling and renamed into place, so a
+// crash mid-write never leaves a torn snapshot where a good one stood.
+func SaveFull(path string, net *lte.Network, cfg *lte.Config, tombstones []lte.CarrierID, journalSeq int64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
+	defer os.Remove(tmp)
 	defer f.Close()
 	zw := gzip.NewWriter(f)
-	if err := Write(zw, net, cfg); err != nil {
+	if err := WriteFull(zw, net, cfg, tombstones, journalSeq); err != nil {
 		return err
 	}
 	if err := zw.Close(); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
 }
 
 // Write streams the snapshot to w (uncompressed JSON) in the current
 // format: numeric carrier cores plus one interned dictionary + code
 // column per string attribute.
 func Write(w io.Writer, net *lte.Network, cfg *lte.Config) error {
+	return WriteFull(w, net, cfg, nil, 0)
+}
+
+// WriteFull is Write plus the live-ingest state a compacted snapshot
+// carries: tombstoned carrier ids and the journal sequence folded in.
+func WriteFull(w io.Writer, net *lte.Network, cfg *lte.Config, tombstones []lte.CarrierID, journalSeq int64) error {
 	schema := cfg.Schema()
-	out := file{Format: fileFormat, Markets: net.Markets}
+	out := file{Format: fileFormat, Markets: net.Markets, Tombstones: tombstones, JournalSeq: journalSeq}
 	n := len(net.Carriers)
 	cols := map[string]*colWriter{
 		"info": newColWriter(n), "mimoMode": newColWriter(n), "hardware": newColWriter(n),
@@ -234,31 +278,61 @@ func Write(w io.Writer, net *lte.Network, cfg *lte.Config) error {
 var loadSeconds = obs.Default().Histogram("auric_snapshot_load_seconds",
 	"Seconds loading a network snapshot from disk (snapshot.Load).", obs.DefBuckets)
 
-// Load reads a snapshot written by Save.
+// Load reads a snapshot written by Save. It refuses a compacted snapshot
+// carrying tombstones: loading one through the tombstone-unaware path would
+// silently resurrect retired carriers — use LoadFull.
 func Load(path string) (*lte.Network, *lte.Config, error) {
+	net, cfg, tombstones, _, err := LoadFull(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(tombstones) > 0 {
+		return nil, nil, fmt.Errorf("snapshot: %s carries %d tombstones (a compacted live-ingest snapshot); use LoadFull", path, len(tombstones))
+	}
+	return net, cfg, nil
+}
+
+// LoadFull reads a snapshot written by Save or SaveFull, returning the
+// tombstoned carrier ids and the journal sequence the snapshot folds in
+// (both zero for plain snapshots).
+func LoadFull(path string) (*lte.Network, *lte.Config, []lte.CarrierID, int64, error) {
 	defer obs.Since(loadSeconds, time.Now())
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: %w", err)
 	}
 	defer f.Close()
 	zr, err := gzip.NewReader(f)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: %w", err)
 	}
 	defer zr.Close()
-	return Read(zr)
+	return ReadFull(zr)
 }
 
 // Read parses an uncompressed JSON snapshot in format 1 (inline carrier
-// strings) or format 2 (dictionary + code columns).
+// strings) or format 2 (dictionary + code columns), dropping live-ingest
+// state (see Load for why callers that might meet compacted snapshots
+// should use ReadFull instead).
 func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
+	net, cfg, tombstones, _, err := ReadFull(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(tombstones) > 0 {
+		return nil, nil, fmt.Errorf("snapshot: carries %d tombstones (a compacted live-ingest snapshot); use ReadFull", len(tombstones))
+	}
+	return net, cfg, nil
+}
+
+// ReadFull is Read plus the live-ingest state of compacted snapshots.
+func ReadFull(r io.Reader) (*lte.Network, *lte.Config, []lte.CarrierID, int64, error) {
 	var in file
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: decoding: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: decoding: %w", err)
 	}
 	if in.Format < 1 || in.Format > fileFormat {
-		return nil, nil, fmt.Errorf("snapshot: unsupported format %d", in.Format)
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: unsupported format %d", in.Format)
 	}
 	params := make([]paramspec.Param, len(in.Schema))
 	for i, p := range in.Schema {
@@ -270,12 +344,12 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 	// A snapshot is untrusted input: validate instead of letting
 	// NewSchema panic on a corrupt or hostile schema block.
 	if err := paramspec.Validate(params); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: %w", err)
 	}
 	schema := paramspec.NewSchema(params)
 	carriers, enbVendor, err := readCarriers(&in)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, 0, err
 	}
 	net := &lte.Network{Markets: in.Markets, Carriers: carriers}
 	for i, e := range in.ENodeBs {
@@ -289,17 +363,17 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 		})
 	}
 	if err := net.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: %w", err)
 	}
 	if len(in.Singular) != len(net.Carriers) {
-		return nil, nil, fmt.Errorf("snapshot: %d singular rows for %d carriers",
+		return nil, nil, nil, 0, fmt.Errorf("snapshot: %d singular rows for %d carriers",
 			len(in.Singular), len(net.Carriers))
 	}
 	cfg := lte.NewConfig(schema, len(net.Carriers))
 	singularIdx := schema.Singular()
 	for ci, row := range in.Singular {
 		if len(row) != len(singularIdx) {
-			return nil, nil, fmt.Errorf("snapshot: carrier %d has %d singular values, want %d",
+			return nil, nil, nil, 0, fmt.Errorf("snapshot: carrier %d has %d singular values, want %d",
 				ci, len(row), len(singularIdx))
 		}
 		for j, pi := range singularIdx {
@@ -309,14 +383,24 @@ func Read(r io.Reader) (*lte.Network, *lte.Config, error) {
 	pairIdx := schema.PairWise()
 	for _, pv := range in.Pairs {
 		if len(pv.Values) != len(pairIdx) {
-			return nil, nil, fmt.Errorf("snapshot: relation %d->%d has %d values, want %d",
+			return nil, nil, nil, 0, fmt.Errorf("snapshot: relation %d->%d has %d values, want %d",
 				pv.From, pv.To, len(pv.Values), len(pairIdx))
 		}
 		for j, pi := range pairIdx {
 			cfg.SetPair(pv.From, pv.To, pi, pv.Values[j])
 		}
 	}
-	return net, cfg, nil
+	seen := make(map[lte.CarrierID]bool, len(in.Tombstones))
+	for _, id := range in.Tombstones {
+		if id < 0 || int(id) >= len(net.Carriers) {
+			return nil, nil, nil, 0, fmt.Errorf("snapshot: tombstone %d outside the %d carriers", id, len(net.Carriers))
+		}
+		if seen[id] {
+			return nil, nil, nil, 0, fmt.Errorf("snapshot: carrier %d tombstoned twice", id)
+		}
+		seen[id] = true
+	}
+	return net, cfg, in.Tombstones, in.JournalSeq, nil
 }
 
 // readCarriers rebuilds the carrier inventory of either format. Format 2

@@ -201,3 +201,43 @@ func TestWriteProducesColumnarV2(t *testing.T) {
 		t.Error("format 9 accepted")
 	}
 }
+
+// TestRoundTripTombstones pins the compacted-snapshot extension: tombstoned
+// carrier ids and the folded journal sequence survive the round trip,
+// LoadFull returns them, and the tombstone-unaware Load refuses the file
+// instead of resurrecting retired carriers.
+func TestRoundTripTombstones(t *testing.T) {
+	w := netsim.Generate(netsim.Options{Seed: 17, Markets: 2, ENodeBsPerMarket: 6})
+	path := filepath.Join(t.TempDir(), "net.json.gz")
+	tombs := []lte.CarrierID{3, 11}
+	if err := SaveFull(path, w.Net, w.Current, tombs, 42); err != nil {
+		t.Fatal(err)
+	}
+	net, _, gotTombs, seq, err := LoadFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Carriers) != len(w.Net.Carriers) {
+		t.Fatal("inventory size changed (tombstoned carriers must stay in the id space)")
+	}
+	if len(gotTombs) != 2 || gotTombs[0] != 3 || gotTombs[1] != 11 || seq != 42 {
+		t.Fatalf("LoadFull tombstones %v seq %d, want [3 11] 42", gotTombs, seq)
+	}
+	if _, _, err := Load(path); err == nil || !strings.Contains(err.Error(), "tombstones") {
+		t.Fatalf("Load of compacted snapshot: err = %v, want tombstone refusal", err)
+	}
+	// Out-of-range and duplicate tombstones are rejected as corrupt input.
+	bad := filepath.Join(t.TempDir(), "bad.json.gz")
+	if err := SaveFull(bad, w.Net, w.Current, []lte.CarrierID{lte.CarrierID(len(w.Net.Carriers))}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := LoadFull(bad); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range tombstone: err = %v", err)
+	}
+	if err := SaveFull(bad, w.Net, w.Current, []lte.CarrierID{1, 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := LoadFull(bad); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate tombstone: err = %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // Contingency is a two-way contingency table between a categorical
 // attribute (rows) and a categorical configuration parameter (columns),
@@ -75,6 +78,10 @@ func (t *Contingency) Count(row, col string) int {
 // counts of Eq. (4), and the degrees of freedom (R-1)(C-1). Tables with
 // fewer than 2 rows or 2 columns carry no information about dependence and
 // return (0, 0).
+//
+// Like CountTable.ChiSquare, the per-cell terms are summed in sorted order:
+// the statistic is a bit-exact function of the cell-count multiset,
+// independent of the order observations were added in.
 func (t *Contingency) ChiSquare() (stat float64, df int) {
 	r, c := len(t.rows), len(t.cols)
 	if r < 2 || c < 2 || t.total == 0 {
@@ -89,6 +96,7 @@ func (t *Contingency) ChiSquare() (stat float64, df int) {
 		}
 	}
 	n := float64(t.total)
+	terms := make([]float64, 0, r*c)
 	for i := 0; i < r; i++ {
 		for j := 0; j < c; j++ {
 			expected := rowSums[i] * colSums[j] / n
@@ -96,8 +104,12 @@ func (t *Contingency) ChiSquare() (stat float64, df int) {
 				continue
 			}
 			d := float64(t.counts[i][j]) - expected
-			stat += d * d / expected
+			terms = append(terms, d*d/expected)
 		}
+	}
+	slices.Sort(terms)
+	for _, v := range terms {
+		stat += v
 	}
 	return stat, (r - 1) * (c - 1)
 }

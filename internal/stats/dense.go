@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // CountTable is a dense two-way contingency table over pre-encoded
 // categorical codes: cell (r, c) counts co-occurrences of attribute code r
@@ -28,6 +31,8 @@ type CountTable struct {
 	rowSums    []float64
 	colSums    []float64
 	reff, ceff int
+
+	terms []float64 // ChiSquare scratch: per-cell terms, summed in sorted order
 }
 
 // NewCountTable returns a zeroed r x c table. Dimensions are the code
@@ -57,8 +62,50 @@ func (t *CountTable) Add(r, c int) {
 	t.dirty = true
 }
 
+// Sub removes one observation of (attribute code, label code). Counts must
+// not go negative; Sub is the removal half of incremental count maintenance
+// (live ingest tombstones), mirroring Add.
+func (t *CountTable) Sub(r, c int) {
+	t.counts[r*t.c+c]--
+	t.total--
+	t.dirty = true
+}
+
 // Count returns the cell count for (attribute code, label code).
 func (t *CountTable) Count(r, c int) int { return t.counts[r*t.c+c] }
+
+// Rows and Cols report the table dimensions (the dictionary cardinalities
+// it was shaped for, not the effective observed dimensions).
+func (t *CountTable) Rows() int { return t.r }
+func (t *CountTable) Cols() int { return t.c }
+
+// Clone returns an independent copy of the table. Incremental fit clones a
+// model's persistent count tables before patching them, so the previous
+// generation's fitted state stays immutable for its concurrent readers.
+func (t *CountTable) Clone() *CountTable {
+	out := &CountTable{r: t.r, c: t.c, total: t.total, dirty: true}
+	out.counts = make([]int, len(t.counts))
+	copy(out.counts, t.counts)
+	return out
+}
+
+// Grow reshapes the table to r x c (which must not shrink either
+// dimension), preserving every existing count — the dictionary-growth path
+// of live ingest, when an upserted carrier introduces a new attribute value
+// or parameter label code.
+func (t *CountTable) Grow(r, c int) {
+	if r < t.r || c < t.c {
+		panic("stats: CountTable.Grow cannot shrink")
+	}
+	if r == t.r && c == t.c {
+		return
+	}
+	counts := make([]int, r*c)
+	for i := 0; i < t.r; i++ {
+		copy(counts[i*c:i*c+t.c], t.counts[i*t.c:(i+1)*t.c])
+	}
+	t.r, t.c, t.counts, t.dirty = r, c, counts, true
+}
 
 // Total returns the number of observations.
 func (t *CountTable) Total() int { return t.total }
@@ -116,12 +163,21 @@ func (t *CountTable) RowTotals() []float64 {
 // effective (observed) dimensions. Tables with fewer than 2 observed rows
 // or 2 observed columns carry no information about dependence and return
 // (0, 0) — identical to Contingency.ChiSquare over the same observations.
+//
+// The per-cell terms are summed in sorted order, so the statistic is a
+// bit-exact function of the cell-count multiset, independent of how codes
+// were assigned. Live ingest depends on this: a patched model's
+// dictionaries append new codes while a from-scratch refit interns them in
+// row order, and without a canonical summation order the two accumulate
+// the same terms with different ULP-level rounding — enough to flip
+// Cramér's-V ties and reorder the dependency ladder.
 func (t *CountTable) ChiSquare() (stat float64, df int) {
 	rowSums, colSums, reff, ceff := t.marginals()
 	if reff < 2 || ceff < 2 || t.total == 0 {
 		return 0, 0
 	}
 	n := float64(t.total)
+	terms := t.terms[:0]
 	for i := 0; i < t.r; i++ {
 		if rowSums[i] == 0 {
 			continue
@@ -133,9 +189,14 @@ func (t *CountTable) ChiSquare() (stat float64, df int) {
 				continue
 			}
 			d := float64(t.counts[base+j]) - expected
-			stat += d * d / expected
+			terms = append(terms, d*d/expected)
 		}
 	}
+	slices.Sort(terms)
+	for _, v := range terms {
+		stat += v
+	}
+	t.terms = terms
 	return stat, (reff - 1) * (ceff - 1)
 }
 

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // The regularized incomplete gamma functions P(a,x) and Q(a,x) = 1-P(a,x)
 // follow the classic series/continued-fraction split (Numerical Recipes
@@ -108,10 +111,22 @@ func ChiSquareSF(x float64, df int) float64 {
 	return upperRegGamma(float64(df)/2, x/2)
 }
 
+// critCache memoizes ChiSquareCritical: the bisection costs ~200 survival
+// evaluations, the arguments are a small integer and a fixed significance
+// level, and dependency selection asks for the same few pairs thousands of
+// times per fit — and on every live-ingest Update. Safe for concurrent use
+// (Train fits parameter models in parallel).
+var critCache sync.Map // critKey -> float64
+
+type critKey struct {
+	df    int
+	alpha float64
+}
+
 // ChiSquareCritical returns the critical value c such that
 // P(X > c) = alpha for X ~ χ²(df), found by bisection on the survival
 // function. This is the "critical value from the chi-square distribution
-// table" of Sec 3.2.
+// table" of Sec 3.2. Results are memoized.
 func ChiSquareCritical(df int, alpha float64) float64 {
 	if df <= 0 {
 		return 0
@@ -121,6 +136,10 @@ func ChiSquareCritical(df int, alpha float64) float64 {
 	}
 	if alpha >= 1 {
 		return 0
+	}
+	key := critKey{df, alpha}
+	if v, ok := critCache.Load(key); ok {
+		return v.(float64)
 	}
 	lo, hi := 0.0, float64(df)
 	for ChiSquareSF(hi, df) > alpha {
@@ -140,5 +159,7 @@ func ChiSquareCritical(df int, alpha float64) float64 {
 			break
 		}
 	}
-	return (lo + hi) / 2
+	c := (lo + hi) / 2
+	critCache.Store(key, c)
+	return c
 }

@@ -1,0 +1,37 @@
+#!/bin/sh
+# doc-audit (flags + routes): every auricd command-line flag and HTTP
+# route must be documented in OPERATIONS.md. The flag and route lists are
+# extracted from cmd/auricd/main.go itself — the registration calls are
+# the single source of truth — so adding a flag or route without touching
+# the runbook fails `make check`, not a reviewer's memory.
+set -eu
+
+src=cmd/auricd/main.go
+ops=OPERATIONS.md
+fail=0
+
+# Flags: every flag.Type("name", ...) registration.
+flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' "$src" | sort -u)
+[ -n "$flags" ] || { echo "doc-audit: extracted no flags from $src (extraction broken?)"; exit 1; }
+for f in $flags; do
+    grep -q -- "-$f" "$ops" || {
+        echo "doc-audit: auricd flag -$f is not documented in $ops"; fail=1; }
+done
+
+# Routes: every route(...)/handle(...) registration plus the direct
+# method-qualified mux.Handle patterns (/metrics, /debug/traces).
+routes=$( {
+    sed -n 's/.*route("[A-Z]*", "\([^"]*\)".*/\1/p' "$src"
+    sed -n 's/.*handle("[A-Z]*", "\([^"]*\)".*/\1/p' "$src"
+    sed -n 's/.*mux\.Handle("[A-Z][A-Z]* \([^"]*\)".*/\1/p' "$src"
+} | sort -u)
+[ -n "$routes" ] || { echo "doc-audit: extracted no routes from $src (extraction broken?)"; exit 1; }
+for r in $routes; do
+    grep -qF "$r" "$ops" || {
+        echo "doc-audit: auricd route $r is not documented in $ops"; fail=1; }
+done
+
+[ "$fail" -eq 0 ] || exit 1
+nflags=$(echo "$flags" | wc -l | tr -d ' ')
+nroutes=$(echo "$routes" | wc -l | tr -d ' ')
+echo "doc-audit: every auricd flag ($nflags) and route ($nroutes) documented in $ops"

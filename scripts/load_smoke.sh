@@ -33,3 +33,21 @@ grep -q '"p99": 0\.' "$report" || {
 grep -q '"failures": 0,' "$report" || {
     echo "load-smoke: failures during hot reload"; exit 1; }
 echo "load-smoke: zero failures across the reload, quantiles reported"
+
+# Churn leg: live ingest racing the recommend traffic. Every delta patches
+# models in place and swaps a generation; -max-failures 0 means neither a
+# recommend nor an ingest may fail while the two race.
+churn_report="$tmp/churn.json"
+echo "load-smoke: 2s churn run, 20 ingest deltas/s racing the load"
+"$tmp/auricload" -markets 4 -enbs 8 -duration 2s -batch 16 -workers 4 \
+    -churn 20 -max-failures 0 -report "$churn_report"
+
+cat "$churn_report"
+
+grep -q '"churnOps":' "$churn_report" || {
+    echo "load-smoke: churn run applied no ingest deltas"; exit 1; }
+grep -q '"churnFailures"' "$churn_report" && {
+    echo "load-smoke: ingest failures under churn"; exit 1; }
+grep -q '"p50": 0\.' "$churn_report" || {
+    echo "load-smoke: churn report lacks a positive p50"; exit 1; }
+echo "load-smoke: churn leg clean: ingest raced serving with zero failures"
