@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -26,6 +27,20 @@ import (
 	"auric/internal/paramspec"
 	"auric/internal/snapshot"
 )
+
+// errJournal marks a failure in the durability path: the delta applied to
+// the live engine but was not journaled, so a restart would lose it.
+// Handlers map it to 500 — the server is at fault — where an engine
+// rejection (semantic conflict) is a 409.
+var errJournal = errors.New("journal failure")
+
+// ingestStatus maps an applyDelta error to its HTTP status.
+func ingestStatus(err error) int {
+	if errors.Is(err, errJournal) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusConflict
+}
 
 // carrierSpec is the wire form of a carrier in the live-ingest API: enum
 // attributes travel as their canonical names (the strings /v1/carriers/{id}
@@ -234,11 +249,7 @@ func (s *server) handleIngest(rw http.ResponseWriter, r *http.Request) {
 	res, err := s.applyDelta(wireDelta{Upserts: items}, auric.Delta{Upserts: ups})
 	if err != nil {
 		s.countIngest("upsert", false, len(items))
-		status := http.StatusConflict
-		if strings.Contains(err.Error(), "journal") {
-			status = http.StatusInternalServerError
-		}
-		writeError(rw, status, err.Error())
+		writeError(rw, ingestStatus(err), err.Error())
 		return
 	}
 	s.countIngest("upsert", true, len(items))
@@ -272,11 +283,7 @@ func (s *server) handleCarrierDelete(rw http.ResponseWriter, r *http.Request) {
 		auric.Delta{Tombstones: []auric.CarrierID{auric.CarrierID(id)}})
 	if err != nil {
 		s.countIngest("tombstone", false, 1)
-		status := http.StatusConflict
-		if strings.Contains(err.Error(), "journal") {
-			status = http.StatusInternalServerError
-		}
-		writeError(rw, status, err.Error())
+		writeError(rw, ingestStatus(err), err.Error())
 		return
 	}
 	s.countIngest("tombstone", true, 1)
@@ -304,11 +311,11 @@ func (s *server) applyDelta(wd wireDelta, d auric.Delta) (auric.ApplyResult, err
 	if s.journal != nil {
 		data, err := json.Marshal(wd)
 		if err != nil {
-			return res, fmt.Errorf("journal encode: %w", err)
+			return res, fmt.Errorf("%w: encode: %w", errJournal, err)
 		}
 		if _, err := s.journal.Append("delta", data); err != nil {
 			log.Printf("auricd: APPLIED DELTA NOT JOURNALED (a restart loses it): %v", err)
-			return res, fmt.Errorf("journal append: %w", err)
+			return res, fmt.Errorf("%w: append: %w", errJournal, err)
 		}
 		s.updateJournalGauges()
 		if s.journalMax > 0 && s.journal.Size() > s.journalMax {
@@ -400,6 +407,16 @@ func (s *server) restore(entries []journal.Entry) (int64, error) {
 	net, x2, cfg, tombs, fence, err := s.baseline()
 	if err != nil {
 		return 0, err
+	}
+	if s.journal != nil {
+		// A compaction empties the journal while its sequence keeps
+		// counting, so a journal reopened after compact-then-restart has
+		// no record of how far the count got — left unseeded, the next
+		// Append would reissue a number at or below the fence, and the
+		// restart after that would skip the entry as already-folded
+		// history. Seed from the fence; a journal with surviving entries
+		// already continues past them and the seed is a no-op.
+		s.journal.SeedSeq(fence + 1)
 	}
 	if s.engine == nil {
 		s.schema = cfg.Schema()

@@ -328,6 +328,67 @@ func TestCompactionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestIngestAfterCompactionRestart is the regression test for the
+// sequence-seeding gap: a restart finds an empty, post-compaction journal,
+// whose file carries no record of how far the sequence counted. Unless
+// restore seeds it from the snapshot's fence, mutations acknowledged after
+// the restart get sequence numbers at or below the fence — and the restart
+// after that silently skips them as already-folded history.
+func TestIngestAfterCompactionRestart(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "deltas.jsonl")
+	s1 := liveServer(t, jpath)
+	net0, _, _, err := s1.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustIngest(t, s1, donorItem(net0, 0))
+	rec := httptest.NewRecorder()
+	s1.handleCompact(rec, httptest.NewRequest("POST", "/v1/compact", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact: %d: %s", rec.Code, rec.Body)
+	}
+	fence := s1.journal.NextSeq() - 1 // the snapshot recorded this fence
+	s1.journal.Close()                // clean shutdown: journal empty, snapshot current
+
+	// Restart one: the journal is empty but must continue past the fence.
+	s2 := liveServer(t, jpath)
+	if next := s2.journal.NextSeq(); next != fence+1 {
+		t.Fatalf("post-restart NextSeq = %d, want %d (snapshot fence %d)", next, fence+1, fence)
+	}
+	if rec := deleteCarrier(t, s2, 5); rec.Code != http.StatusOK {
+		t.Fatalf("post-restart delete: %d: %s", rec.Code, rec.Body)
+	}
+	net2, _, _, err := s2.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs2, err := s2.engine.Recommend(&net2.Carriers[id], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.journal.Close() // crash: the delete lives only in the journal tail
+
+	// Restart two: the acknowledged delete must replay, not be skipped.
+	s3 := liveServer(t, jpath)
+	if dead, err := s3.engine.Tombstoned(5); err != nil || !dead {
+		t.Fatalf("Tombstoned(5) = %v, %v: post-compaction-restart mutation lost on replay", dead, err)
+	}
+	net3, _, _, err := s3.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net3.Carriers) != len(net2.Carriers) {
+		t.Fatalf("restored inventory %d carriers, want %d", len(net3.Carriers), len(net2.Carriers))
+	}
+	recs3, err := s3.engine.Recommend(&net3.Carriers[id], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs2, recs3) {
+		t.Error("recommendations diverge after compaction + restart + ingest + restart")
+	}
+}
+
 // TestSizeTriggeredCompaction: once the journal outgrows journalMax, the
 // very ingest that crossed the line folds it into the snapshot.
 func TestSizeTriggeredCompaction(t *testing.T) {

@@ -12,7 +12,10 @@
 // order is self-evidencing. Sequence numbers survive compaction: Reset
 // empties the file but the count continues, so a journal legitimately
 // starts past 1 — whether its first entry lines up with the folded history
-// is checked by the caller against the snapshot's recorded fence.
+// is checked by the caller against the snapshot's recorded fence. An empty
+// file carries no record of how far the sequence had counted, so after a
+// compaction-then-restart the caller must SeedSeq the reopened journal
+// from the fence, or new entries would reuse already-folded numbers.
 // Open tolerates exactly one failure shape: a
 // corrupt or partial tail with no valid entries after it — the footprint
 // of a crash mid-append — which it truncates away and reports. A corrupt
@@ -50,6 +53,9 @@ type Journal struct {
 	entries int
 	nextSeq int64
 	dropped int64
+	broken  error // set when a torn append could not be rolled back; poisons further Appends
+
+	writeFn func([]byte) (int, error) // test seam: overrides j.f.Write when non-nil
 }
 
 // maxLine bounds a single journal entry (a delta carrying many carriers is
@@ -164,14 +170,37 @@ func (j *Journal) NextSeq() int64 {
 	return j.nextSeq
 }
 
+// SeedSeq raises the next sequence number to at least n; it never lowers
+// it. The owner of the compaction fence calls this after reopening the
+// journal: Reset empties the file, so a restart finds no record of how far
+// the sequence had counted, and without seeding the next Append would
+// reissue a number at or below the fence — which replay then silently
+// skips as already-folded history. A journal with surviving entries
+// already continues past them, making the seed a no-op.
+func (j *Journal) SeedSeq(n int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > j.nextSeq {
+		j.nextSeq = n
+	}
+}
+
 // Append journals one mutation: it assigns the next sequence number,
 // writes the entry as a single JSON line, and fsyncs before returning —
-// an acknowledged mutation survives a crash.
+// an acknowledged mutation survives a crash. A failed or partial write is
+// rolled back (the file truncates to the last acknowledged entry), so a
+// transient failure like ENOSPC leaves the journal a clean prefix of
+// valid entries instead of a torn line that later valid appends would
+// bury — a shape Open refuses to replay. If the rollback itself fails the
+// journal is poisoned and refuses further Appends.
 func (j *Journal) Append(kind string, data json.RawMessage) (Entry, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return Entry{}, fmt.Errorf("journal: closed")
+	}
+	if j.broken != nil {
+		return Entry{}, j.broken
 	}
 	e := Entry{Seq: j.nextSeq, Time: time.Now().UTC(), Kind: kind, Data: data}
 	line, err := json.Marshal(e)
@@ -179,17 +208,40 @@ func (j *Journal) Append(kind string, data json.RawMessage) (Entry, error) {
 		return Entry{}, fmt.Errorf("journal: marshal: %w", err)
 	}
 	line = append(line, '\n')
-	n, err := j.f.Write(line)
-	j.size += int64(n)
-	if err != nil {
+	write := j.f.Write
+	if j.writeFn != nil {
+		write = j.writeFn
+	}
+	if _, err := write(line); err != nil {
+		j.rollbackLocked()
 		return Entry{}, fmt.Errorf("journal: write: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		// The bytes may be in the page cache but are not durable; roll
+		// them back rather than acknowledge a mutation a crash could lose.
+		j.rollbackLocked()
 		return Entry{}, fmt.Errorf("journal: sync: %w", err)
 	}
+	j.size += int64(len(line))
 	j.nextSeq++
 	j.entries++
 	return e, nil
+}
+
+// rollbackLocked restores the file to the last acknowledged entry (offset
+// j.size, which only advances on a fully synced append) after a failed
+// write. If the truncate or seek fails, the torn bytes stay on disk and
+// the journal is poisoned: appending valid entries after corruption would
+// turn a transient failure into a journal no restart can replay. Caller
+// holds j.mu.
+func (j *Journal) rollbackLocked() {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.broken = fmt.Errorf("journal: torn append at byte %d not rolled back (%v); refusing further appends", j.size, err)
+		return
+	}
+	if _, err := j.f.Seek(j.size, 0); err != nil {
+		j.broken = fmt.Errorf("journal: seek after torn-append rollback (%v); refusing further appends", err)
+	}
 }
 
 // Reset empties the journal after a compaction folded its entries into a

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,6 +133,84 @@ func TestJournalSequenceGap(t *testing.T) {
 	}
 	if _, _, err := Open(path); err == nil || !strings.Contains(err.Error(), "sequence gap") {
 		t.Fatalf("err = %v, want sequence gap", err)
+	}
+}
+
+// TestJournalSeedSeq: seeding raises the next sequence number but never
+// lowers it — the post-compaction restart contract, where an empty journal
+// must continue past the snapshot's fence rather than restart at 1.
+func TestJournalSeedSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.SeedSeq(8) // fence 7: first post-restart append must be seq 8
+	if e := mustAppend(t, j, "delta", `{}`); e.Seq != 8 {
+		t.Fatalf("seeded seq = %d, want 8", e.Seq)
+	}
+	j.SeedSeq(3) // stale seed never rewinds
+	if e := mustAppend(t, j, "delta", `{}`); e.Seq != 9 {
+		t.Fatalf("seq after stale seed = %d, want 9", e.Seq)
+	}
+}
+
+// TestJournalTornAppendRollback: a failed partial write (the ENOSPC shape)
+// rolls the file back to the last acknowledged entry, so later appends and
+// reopens see a clean journal — not a torn line buried under valid
+// entries, which Open refuses to replay.
+func TestJournalTornAppendRollback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, "delta", `{"a":1}`)
+
+	boom := errors.New("no space left on device")
+	j.writeFn = func(p []byte) (int, error) {
+		n, _ := j.f.Write(p[:len(p)/2]) // half the line lands, then the disk fills
+		return n, boom
+	}
+	if _, err := j.Append("delta", json.RawMessage(`{"b":2}`)); !errors.Is(err, boom) {
+		t.Fatalf("torn append error = %v, want wrapped %v", err, boom)
+	}
+	j.writeFn = nil
+
+	// The rollback healed the file: the next append is acknowledged with
+	// the sequence the torn one failed to claim.
+	if e := mustAppend(t, j, "delta", `{"c":3}`); e.Seq != 2 {
+		t.Fatalf("seq after rollback = %d, want 2", e.Seq)
+	}
+	j.Close()
+	j2, entries, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after rollback: %v", err)
+	}
+	defer j2.Close()
+	if len(entries) != 2 || j2.Dropped() != 0 {
+		t.Fatalf("reopen: %d entries, %d dropped bytes; want 2 clean entries", len(entries), j2.Dropped())
+	}
+}
+
+// TestJournalPoisonedOnFailedRollback: when the rollback itself fails the
+// journal refuses further appends — writing valid entries after a torn
+// line would make every future replay fail.
+func TestJournalPoisonedOnFailedRollback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "delta", `{}`)
+	j.f.Close() // yank the fd: the write fails and so does the truncate
+	if _, err := j.Append("delta", json.RawMessage(`{}`)); err == nil {
+		t.Fatal("append on a dead fd succeeded")
+	}
+	if _, err := j.Append("delta", json.RawMessage(`{}`)); err == nil || !strings.Contains(err.Error(), "refusing further appends") {
+		t.Fatalf("poisoned append error = %v, want refusal", err)
 	}
 }
 

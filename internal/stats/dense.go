@@ -31,8 +31,6 @@ type CountTable struct {
 	rowSums    []float64
 	colSums    []float64
 	reff, ceff int
-
-	terms []float64 // ChiSquare scratch: per-cell terms, summed in sorted order
 }
 
 // NewCountTable returns a zeroed r x c table. Dimensions are the code
@@ -177,7 +175,11 @@ func (t *CountTable) ChiSquare() (stat float64, df int) {
 		return 0, 0
 	}
 	n := float64(t.total)
-	terms := t.terms[:0]
+	// The terms slice is local, not pooled scratch: once a table is fitted
+	// (marginals cached), ChiSquare must stay read-only — fitted models
+	// share count tables across generations and call it concurrently, and
+	// the sort dominates the cost of one allocation anyway.
+	terms := make([]float64, 0, reff*ceff)
 	for i := 0; i < t.r; i++ {
 		if rowSums[i] == 0 {
 			continue
@@ -196,7 +198,6 @@ func (t *CountTable) ChiSquare() (stat float64, df int) {
 	for _, v := range terms {
 		stat += v
 	}
-	t.terms = terms
 	return stat, (reff - 1) * (ceff - 1)
 }
 
