@@ -51,11 +51,12 @@ bench:
 # scale) so `make check` catches benchmarks that rot when APIs move,
 # without paying for a measurement-grade run.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x -short . ./internal/learn/cf/ ./internal/core/ ./internal/trace/
+	$(GO) test -run=NONE -bench=. -benchtime=1x -short . ./internal/learn/cf/ ./internal/core/ ./internal/trace/ ./internal/learn/tree/ ./internal/learn/forest/
 
 # bench-json runs the hot-path benchmark suites and writes the
-# machine-readable results to BENCH_cf.json (dataset + CF) and
-# BENCH_core.json (engine) — see scripts/bench_json.sh for knobs.
+# machine-readable results to BENCH_cf.json (dataset + CF),
+# BENCH_core.json (engine) and BENCH_learn.json (tree/forest fit) —
+# see scripts/bench_json.sh for knobs.
 bench-json:
 	./scripts/bench_json.sh
 
@@ -73,7 +74,7 @@ bench-compare:
 ifdef OLD
 	$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) $(OLD) $(NEW)
 else
-	@status=0; for f in BENCH_cf.json BENCH_core.json; do \
+	@status=0; for f in BENCH_cf.json BENCH_core.json BENCH_learn.json; do \
 		if git cat-file -e HEAD:$$f 2>/dev/null && ! git diff --quiet HEAD -- $$f 2>/dev/null; then \
 			base=$$(mktemp); git show HEAD:$$f > $$base; \
 			$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) $$base $$f || status=1; \

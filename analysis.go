@@ -52,8 +52,11 @@ func MarketVariability(w *World) []MarketVariabilityRow { return eval.Fig3(w) }
 func Skewness(w *World) ([]SkewRow, map[SkewClass]int) { return eval.Fig4(w) }
 
 // DefaultLearnerSpecs returns the five global learners of the paper's
-// evaluation; quick=true shrinks the expensive ones for fast runs.
-func DefaultLearnerSpecs(quick bool) []LearnerSpec { return eval.DefaultLearnerSpecs(quick) }
+// evaluation; quick=true shrinks the expensive ones for fast runs, workers
+// bounds the forest's parallel tree growth (0 = one per CPU, timing only).
+func DefaultLearnerSpecs(quick bool, workers int) []LearnerSpec {
+	return eval.DefaultLearnerSpecs(quick, workers)
+}
 
 // CompareLearners cross-validates the given learners over every parameter
 // of the given markets (Table 4 / Fig 10). nil specs means the paper-exact

@@ -40,8 +40,16 @@ func benchWorld() *auric.World {
 	return world
 }
 
+// benchCV returns the cross-validation options of the experiment benches.
+// Full -bench runs evaluate the complete learning tables — the columnar
+// learners run Table 4 at netsim scale — while -short (bench-smoke in make
+// check) keeps the historical 500-sample cap so the smoke pass stays fast.
 func benchCV() auric.CVOptions {
-	return auric.CVOptions{Folds: 3, Seed: 1, MaxSamples: 500}
+	cv := auric.CVOptions{Folds: 3, Seed: 1}
+	if testing.Short() {
+		cv.MaxSamples = 500
+	}
+	return cv
 }
 
 // BenchmarkFig2Variability regenerates Fig 2: distinct values per
@@ -132,7 +140,7 @@ func BenchmarkTable4GlobalLearners(b *testing.B) {
 	w := benchWorld()
 	var cfAcc float64
 	for i := 0; i < b.N; i++ {
-		results, _, err := auric.CompareLearners(w, auric.TimezoneMarkets(w), auric.DefaultLearnerSpecs(true), benchCV())
+		results, _, err := auric.CompareLearners(w, auric.TimezoneMarkets(w), auric.DefaultLearnerSpecs(true, 0), benchCV())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +160,7 @@ func BenchmarkFig10PerParameter(b *testing.B) {
 	m := auric.TimezoneMarkets(w)[:1]
 	var rows int
 	for i := 0; i < b.N; i++ {
-		_, fig10, err := auric.CompareLearners(w, m, auric.DefaultLearnerSpecs(true), benchCV())
+		_, fig10, err := auric.CompareLearners(w, m, auric.DefaultLearnerSpecs(true, 0), benchCV())
 		if err != nil {
 			b.Fatal(err)
 		}

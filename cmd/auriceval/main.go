@@ -41,7 +41,7 @@ func main() {
 		markets = flag.Int("markets", 28, "number of markets")
 		enbs    = flag.Int("enbs", 40, "eNodeBs per market")
 		folds   = flag.Int("folds", 3, "cross-validation folds")
-		samples = flag.Int("samples", 900, "max samples per parameter table (0 = all)")
+		samples = flag.Int("samples", 0, "max samples per parameter table (0 = all)")
 		quick   = flag.Bool("quick", true, "shrink the expensive learners (forest size, MLP depth)")
 		workers = flag.Int("workers", 0, "per-parameter worker pool size (0 = all CPUs)")
 		timings = flag.Bool("timings", true, "print a pipeline stage-timing summary after the run")
@@ -174,7 +174,7 @@ func runTable3(e *env) error {
 }
 
 func runTable4(e *env) error {
-	results, _, err := eval.GlobalLearnerComparison(e.w, e.markets, eval.DefaultLearnerSpecs(e.quick), e.cv)
+	results, _, err := eval.GlobalLearnerComparison(e.w, e.markets, eval.DefaultLearnerSpecs(e.quick, e.cv.Workers), e.cv)
 	if err != nil {
 		return err
 	}
@@ -201,7 +201,7 @@ func printLearnerTable(e *env, results []eval.LearnerResult) {
 }
 
 func runFig10(e *env) error {
-	_, fig10, err := eval.GlobalLearnerComparison(e.w, e.markets[:1], eval.DefaultLearnerSpecs(e.quick), e.cv)
+	_, fig10, err := eval.GlobalLearnerComparison(e.w, e.markets[:1], eval.DefaultLearnerSpecs(e.quick, e.cv.Workers), e.cv)
 	if err != nil {
 		return err
 	}

@@ -43,7 +43,7 @@ func main() {
 	fmt.Println("decisive, widening the candidate scope changes little — see EXPERIMENTS.md)")
 
 	fmt.Println("\nlearner comparison on these markets (quick hyperparameters):")
-	results, _, err := auric.CompareLearners(world, markets, auric.DefaultLearnerSpecs(true), cv)
+	results, _, err := auric.CompareLearners(world, markets, auric.DefaultLearnerSpecs(true, 0), cv)
 	if err != nil {
 		log.Fatal(err)
 	}

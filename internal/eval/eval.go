@@ -90,13 +90,21 @@ func CrossValidate(t *dataset.Table, l learn.Learner, opts CVOptions, onMismatch
 		if err != nil {
 			return res, err
 		}
+		// Scoring consumes only the label, so models exposing the
+		// explanation-free fast path skip the Prediction assembly.
+		lm, okLabel := m.(learn.LabelModel)
 		for _, i := range test {
-			p := m.Predict(t.Row(i))
+			var label string
+			if okLabel {
+				label = lm.PredictLabel(t.Row(i))
+			} else {
+				label = m.Predict(t.Row(i)).Label
+			}
 			res.Total++
-			if p.Label == t.Labels[i] {
+			if label == t.Labels[i] {
 				res.Correct++
 			} else if onMismatch != nil {
-				onMismatch(Mismatch{Param: t.Param, Site: t.Sites[i], Predicted: p.Label, Current: t.Labels[i]})
+				onMismatch(Mismatch{Param: t.Param, Site: t.Sites[i], Predicted: label, Current: t.Labels[i]})
 			}
 		}
 	}
@@ -157,6 +165,7 @@ func CrossValidateLocal(t *dataset.Table, l learn.Learner, net *lte.Network, x2 
 		}
 		sm, okScoped := m.(learn.ScopedModel)
 		ss, okScoper := m.(learn.SiteScoper)
+		lm, okLabel := m.(learn.LabelModel)
 		// A fold model trained on a Subset of t shares t's columnar base,
 		// so the table's stored codes are already the model's encoding —
 		// no per-prediction string re-encode.
@@ -194,7 +203,12 @@ func CrossValidateLocal(t *dataset.Table, l learn.Learner, net *lte.Network, x2 
 					return s.From != self && in[s.From]
 				})
 			default:
-				p = m.Predict(row(i))
+				// Unscoped models (tree, forest, ...) score by label alone.
+				if okLabel {
+					p.Label = lm.PredictLabel(row(i))
+				} else {
+					p = m.Predict(row(i))
+				}
 			}
 			res.Total++
 			if p.Label == t.Labels[i] {

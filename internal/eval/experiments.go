@@ -36,17 +36,23 @@ type LearnerSpec struct {
 // the paper's exact hyperparameters; quick=true shrinks the two expensive
 // ensembles (forest size, MLP epochs/architecture depth) so that the
 // benches complete in minutes — the relative ordering is preserved (see
-// EXPERIMENTS.md for a full-fidelity run).
-func DefaultLearnerSpecs(quick bool) []LearnerSpec {
+// EXPERIMENTS.md for a full-fidelity run). workers bounds the forest's
+// parallel tree growth (zero or negative: one per CPU); it changes timing
+// only, never the fitted ensembles.
+func DefaultLearnerSpecs(quick bool, workers int) []LearnerSpec {
 	specs := []LearnerSpec{
-		{Name: "random-forest", Build: func() learn.Learner { return forest.New() }},
+		{Name: "random-forest", Build: func() learn.Learner {
+			return &forest.Learner{Opts: forest.Options{Workers: workers}}
+		}},
 		{Name: "k-nearest-neighbors", Build: func() learn.Learner { return knn.New() }},
 		{Name: "decision-tree", Build: func() learn.Learner { return tree.New() }},
 		{Name: "deep-neural-network", Build: func() learn.Learner { return mlp.New() }},
 		{Name: "collaborative-filtering", Build: func() learn.Learner { return cf.New() }},
 	}
 	if quick {
-		specs[0].Build = func() learn.Learner { return &forest.Learner{Opts: forest.Options{Trees: 30, Seed: 1}} }
+		specs[0].Build = func() learn.Learner {
+			return &forest.Learner{Opts: forest.Options{Trees: 30, Workers: workers, Seed: 1}}
+		}
 		specs[3].Build = func() learn.Learner {
 			return &mlp.Learner{Opts: mlp.Options{Hidden: []int{64, 32}, Epochs: 12, Batch: 64, Seed: 1}}
 		}
@@ -217,7 +223,7 @@ type Fig10Row struct {
 // DefaultLearnerSpecs(false).
 func GlobalLearnerComparison(w *netsim.World, markets []int, specs []LearnerSpec, cv CVOptions) ([]LearnerResult, map[int][]Fig10Row, error) {
 	if specs == nil {
-		specs = DefaultLearnerSpecs(false)
+		specs = DefaultLearnerSpecs(false, cv.Workers)
 	}
 	type cell struct {
 		market, param int

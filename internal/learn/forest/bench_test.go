@@ -1,0 +1,82 @@
+package forest
+
+// Benchmarks for the random-forest fit path at netsim scale: 100 bootstrap
+// trees (the paper's ensemble size) over the singular sFreqPrio table of
+// the shared bench world (~900 rows), plus a pair-wise case at the quick
+// ensemble size that the Table 4 drivers use. The pair case is skipped
+// with -short so make check's bench-smoke stays fast. Results are tracked
+// in EXPERIMENTS.md and BENCH_learn.json.
+
+import (
+	"sync"
+	"testing"
+
+	"auric/internal/dataset"
+	"auric/internal/netsim"
+)
+
+var (
+	benchTablesOnce sync.Once
+	benchSing       *dataset.Table
+	benchPair       *dataset.Table
+)
+
+func benchTables(b *testing.B) (sing, pair *dataset.Table) {
+	b.Helper()
+	benchTablesOnce.Do(func() {
+		w := netsim.Generate(netsim.Options{Seed: 11, Markets: 4, ENodeBsPerMarket: 30})
+		builder := dataset.NewBuilder(w.Net, w.X2, nil)
+		benchSing = builder.Labeled(w.Current, w.Schema.IndexOf("sFreqPrio"))
+		benchPair = builder.Labeled(w.Current, w.Schema.IndexOf("hysA3Offset"))
+	})
+	return benchSing, benchPair
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	cases := []struct {
+		name  string
+		pair  bool
+		trees int
+	}{
+		{"singular/trees=100", false, 100},
+		{"pair/trees=30", true, 30},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sing, pair := benchTables(b)
+			t := sing
+			if c.pair {
+				if testing.Short() {
+					b.Skip("pair scale skipped in -short mode")
+				}
+				t = pair
+			}
+			l := &Learner{Opts: Options{Trees: c.trees, Seed: 1}}
+			b.ReportMetric(float64(t.Len()), "rows")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Fit(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForestPredict measures the ensemble vote path: 100 trees, one
+// prediction per call, training rows in rotation.
+func BenchmarkForestPredict(b *testing.B) {
+	sing, _ := benchTables(b)
+	m, err := New().Fit(sing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]string, 64)
+	for i := range rows {
+		rows[i] = sing.Row(i % sing.Len())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(rows[i%len(rows)])
+	}
+}

@@ -68,6 +68,18 @@ type Model interface {
 	Predict(row []string) Prediction
 }
 
+// LabelModel is implemented by models that can answer "which label" without
+// assembling the rest of the Prediction — in particular without formatting
+// the human-readable explanation. Evaluation loops that only score accuracy
+// use it as the allocation-free fast path; PredictLabel must return exactly
+// the Label that Predict would.
+type LabelModel interface {
+	Model
+	// PredictLabel returns Predict(row).Label without building the
+	// explanation.
+	PredictLabel(row []string) string
+}
+
 // ScopedModel is implemented by models that can restrict the evidence used
 // for one prediction to a subset of training sites — the geographic
 // scoping of the paper's local learner (Sec 3.3).

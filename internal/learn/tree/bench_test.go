@@ -1,0 +1,77 @@
+package tree
+
+// Benchmarks for the decision-tree fit path at netsim scale, the Table 4
+// baseline cost that capped the paper-comparison experiments before the
+// columnar rewrite. Two tables of the shared bench world (4 markets x 30
+// eNodeBs, the same world cf's suite uses): the singular sFreqPrio table
+// (~900 rows) and the pair-wise hysA3Offset table (~8.2K rows). The
+// "pair" case is skipped with -short so make check's bench-smoke stays
+// fast. Results are tracked in EXPERIMENTS.md and BENCH_learn.json.
+
+import (
+	"sync"
+	"testing"
+
+	"auric/internal/dataset"
+	"auric/internal/netsim"
+)
+
+var (
+	benchTablesOnce sync.Once
+	benchSing       *dataset.Table
+	benchPair       *dataset.Table
+)
+
+// benchTables returns one singular and one pair-wise learning table of the
+// bench world, using the heavily tuned parameters the paper highlights.
+func benchTables(b *testing.B) (sing, pair *dataset.Table) {
+	b.Helper()
+	benchTablesOnce.Do(func() {
+		w := netsim.Generate(netsim.Options{Seed: 11, Markets: 4, ENodeBsPerMarket: 30})
+		builder := dataset.NewBuilder(w.Net, w.X2, nil)
+		benchSing = builder.Labeled(w.Current, w.Schema.IndexOf("sFreqPrio"))
+		benchPair = builder.Labeled(w.Current, w.Schema.IndexOf("hysA3Offset"))
+	})
+	return benchSing, benchPair
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	for _, kind := range []string{"singular", "pair"} {
+		b.Run(kind, func(b *testing.B) {
+			sing, pair := benchTables(b)
+			t := sing
+			if kind == "pair" {
+				if testing.Short() {
+					b.Skip("pair scale skipped in -short mode")
+				}
+				t = pair
+			}
+			b.ReportMetric(float64(t.Len()), "rows")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New().Fit(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreePredict measures the explanation-bearing predict path on
+// training rows of the pair table (the Fig 8 shape: full decision-path
+// formatting per call).
+func BenchmarkTreePredict(b *testing.B) {
+	sing, _ := benchTables(b)
+	m, err := New().Fit(sing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]string, 64)
+	for i := range rows {
+		rows[i] = sing.Row(i % sing.Len())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(rows[i%len(rows)])
+	}
+}

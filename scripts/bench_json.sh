@@ -1,24 +1,31 @@
 #!/bin/sh
 # bench-json: run the hot-path benchmarks and write the raw
 # `go test -bench` output as machine-readable JSON — BENCH_cf.json for
-# the dataset + CF learner suites (root package and internal/learn/cf)
-# and BENCH_core.json for the engine suite (internal/core). The JSON
-# files are committed so EXPERIMENTS.md numbers stay reproducible and
-# successive PRs can diff ns/op, B/op and allocs/op without re-reading
-# prose.
+# the dataset + CF learner suites (root package and internal/learn/cf),
+# BENCH_core.json for the engine suite (internal/core), and
+# BENCH_learn.json for the tree/forest fit suite (internal/learn/tree
+# and internal/learn/forest). The JSON files are committed so
+# EXPERIMENTS.md numbers stay reproducible and successive PRs can diff
+# ns/op, B/op and allocs/op without re-reading prose.
 #
-# Usage: scripts/bench_json.sh [cf-out.json [core-out.json]]
+# Usage: scripts/bench_json.sh [cf-out.json [core-out.json [learn-out.json]]]
 # Env:   BENCHTIME (default 1s), COUNT (default 3; repeated runs per
 #        benchmark let benchcompare fold mean±spread and gate regressions
-#        statistically), SHORT=1 to skip the near-paper "large" scale.
+#        statistically), SHORT=1 to skip the near-paper "large" scale,
+#        SUITES (default "cf core learn") to regenerate a subset of the
+#        baselines without re-measuring the others.
 set -eu
 
 cf_out=${1:-BENCH_cf.json}
 core_out=${2:-BENCH_core.json}
+learn_out=${3:-BENCH_learn.json}
 benchtime=${BENCHTIME:-1s}
 count=${COUNT:-3}
+suites=${SUITES:-"cf core learn"}
 shortflag=""
 [ "${SHORT:-0}" = "1" ] && shortflag="-short"
+
+has_suite() { case " $suites " in *" $1 "*) return 0 ;; *) return 1 ;; esac }
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -44,12 +51,23 @@ fold_json() {
     echo "bench-json: wrote $2 ($(grep -c '"name"' "$2") benchmarks)"
 }
 
-echo "bench-json: running dataset + CF benchmarks (benchtime=$benchtime count=$count short=${SHORT:-0})"
-go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
-    . ./internal/learn/cf/ | tee "$tmp"
-fold_json "$tmp" "$cf_out"
+if has_suite cf; then
+    echo "bench-json: running dataset + CF benchmarks (benchtime=$benchtime count=$count short=${SHORT:-0})"
+    go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
+        . ./internal/learn/cf/ | tee "$tmp"
+    fold_json "$tmp" "$cf_out"
+fi
 
-echo "bench-json: running engine benchmarks"
-go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
-    ./internal/core/ | tee "$tmp"
-fold_json "$tmp" "$core_out"
+if has_suite core; then
+    echo "bench-json: running engine benchmarks"
+    go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
+        ./internal/core/ | tee "$tmp"
+    fold_json "$tmp" "$core_out"
+fi
+
+if has_suite learn; then
+    echo "bench-json: running tree/forest learner benchmarks"
+    go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" $shortflag \
+        ./internal/learn/tree/ ./internal/learn/forest/ | tee "$tmp"
+    fold_json "$tmp" "$learn_out"
+fi
