@@ -1,0 +1,54 @@
+// Model-health surface: GET /v1/health/model reports each market shard's
+// scored model quality — serving-quality window, attribute drift against
+// the training base, shadow-refit divergence, and journal staleness —
+// with an ok/degraded status per shard against the -health-* thresholds.
+// OPERATIONS.md ("Model health") documents the schema and the triage
+// runbook; internal/health implements the scoring.
+package main
+
+import (
+	"log"
+	"net/http"
+	"strings"
+
+	"auric/internal/health"
+)
+
+// handleModelHealth serves GET /v1/health/model. With ?refresh=shadow the
+// response waits for a fresh shadow-refit divergence check of every shard
+// (expensive: one scratch retrain per market); without it the last
+// completed check is reported with its age.
+func (s *server) handleModelHealth(rw http.ResponseWriter, r *http.Request) {
+	if s.health == nil {
+		writeError(rw, http.StatusServiceUnavailable, "model-health tracking is not initialized")
+		return
+	}
+	switch v := r.URL.Query().Get("refresh"); v {
+	case "", "0", "false":
+	case "shadow", "1", "true":
+		if err := s.health.RefreshShadow(); err != nil {
+			writeError(rw, http.StatusInternalServerError, err.Error())
+			return
+		}
+	default:
+		writeError(rw, http.StatusBadRequest, "refresh takes \"shadow\" (or a boolean)")
+		return
+	}
+	writeJSON(rw, s.health.Report())
+}
+
+// logHealthTransition is the degraded-status hook auricd installs: one
+// loud log line per status flip. A future EMS rollout controller replaces
+// this with a gate that pauses staged unlocks on degraded shards.
+func logHealthTransition(tr health.Transition) {
+	name := tr.Name
+	if name == "" {
+		name = "?"
+	}
+	if tr.Degraded {
+		log.Printf("auricd: MODEL HEALTH DEGRADED: market %d (%s): %s",
+			tr.Market, name, strings.Join(tr.Reasons, "; "))
+		return
+	}
+	log.Printf("auricd: model health recovered: market %d (%s)", tr.Market, name)
+}

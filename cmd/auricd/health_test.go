@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"auric"
+	"auric/internal/health"
+	"auric/internal/obs"
+	"auric/internal/rng"
+)
+
+// healthLiveServer builds a server through the real startup path with a
+// model-health tracker attached before the first Load, the way main
+// assembles it from the -health-* flags.
+func healthLiveServer(t *testing.T, cfg health.Config) *server {
+	t.Helper()
+	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: 3, Markets: 2, ENodeBsPerMarket: 8})
+	s := &server{newRNG: rng.New(1), world: w}
+	s.source = func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
+		return w.Net, w.X2, w.Current, nil
+	}
+	s.health = health.New(obs.New(), cfg)
+	if _, err := s.restore(nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// getModelHealth hits GET /v1/health/model and decodes the report.
+func getModelHealth(t *testing.T, s *server, query string) health.Report {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handleModelHealth(rec, httptest.NewRequest("GET", "/v1/health/model"+query, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/health/model%s: %d: %s", query, rec.Code, rec.Body)
+	}
+	var rep health.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// shardOf returns the report entry for one market.
+func shardOf(t *testing.T, rep health.Report, market int) health.ShardHealth {
+	t.Helper()
+	for _, sh := range rep.Shards {
+		if sh.Market == market {
+			return sh
+		}
+	}
+	t.Fatalf("market %d missing from report: %+v", market, rep)
+	return health.ShardHealth{}
+}
+
+// marketIDs lists one market's live carrier ids.
+func marketIDs(net *auric.Network, m int) []int {
+	var out []int
+	for i := range net.Carriers {
+		if net.Carriers[i].Market == m {
+			out = append(out, int(net.Carriers[i].ID))
+		}
+	}
+	return out
+}
+
+// faithfulWire clones a carrier with its live attributes and its live
+// singular configuration — churn consistent with the serving labels.
+func faithfulWire(s *server, w *auric.World, id int) ingestItem {
+	it := donorItem(w.Net, id)
+	it.Config = map[string]float64{}
+	for _, pi := range s.schema.Singular() {
+		it.Config[s.schema.At(pi).Name] = w.Current.Get(auric.CarrierID(id), pi)
+	}
+	return it
+}
+
+// flippedWire clones a carrier with identical attributes but every
+// singular parameter at the opposite end of its value grid — evidence
+// that pulls the donor's voting pools toward different labels.
+func flippedWire(s *server, w *auric.World, id int) ingestItem {
+	it := donorItem(w.Net, id)
+	it.Config = map[string]float64{}
+	for _, pi := range s.schema.Singular() {
+		spec := s.schema.At(pi)
+		lo, hi := spec.ValueAt(0), spec.ValueAt(spec.Levels()-1)
+		v := hi
+		if w.Current.Get(auric.CarrierID(id), pi) == hi {
+			v = lo
+		}
+		it.Config[spec.Name] = v
+	}
+	return it
+}
+
+// ingestBatch POSTs a batch of upserts and returns the assigned ids.
+func ingestBatch(t *testing.T, s *server, items []ingestItem) []int {
+	t.Helper()
+	b, err := json.Marshal(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postIngest(t, s, string(b))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch ingest: %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct{ Results []ingestEntry }
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(resp.Results))
+	for i, e := range resp.Results {
+		if e.ID < 0 {
+			t.Fatalf("batch item %d unassigned: %+v", i, e)
+		}
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// TestModelHealthDriftedIngestDegrades is the acceptance path: a batch of
+// deliberately drifted deltas through POST /v1/carriers — attribute-
+// shifted clones plus label-flipping clones — must transition market 0 to
+// degraded with nonzero drift PSI and nonzero shadow disagreement, while
+// the untouched market 1 stays ok.
+func TestModelHealthDriftedIngestDegrades(t *testing.T) {
+	var flips []health.Transition
+	s := healthLiveServer(t, health.Config{
+		MinDriftRows: 10, ShadowProbes: -1,
+		OnTransition: func(tr health.Transition) { flips = append(flips, tr) },
+	})
+	w := s.world
+
+	rep := getModelHealth(t, s, "")
+	if rep.Status != "ok" || len(rep.Shards) != 2 {
+		t.Fatalf("pristine server not ok: %+v", rep)
+	}
+
+	var batch []ingestItem
+	for _, id := range marketIDs(w.Net, 0) {
+		for k := 0; k < 4; k++ {
+			batch = append(batch, flippedWire(s, w, id))
+		}
+		// Attribute drift: a software version the training base never saw.
+		drifted := donorItem(w.Net, id)
+		drifted.Carrier.SoftwareVersion = "drift-v99"
+		batch = append(batch, drifted)
+	}
+	ingestBatch(t, s, batch)
+
+	rep = getModelHealth(t, s, "?refresh=shadow")
+	sh := shardOf(t, rep, 0)
+	if sh.Status != "degraded" || rep.Status != "degraded" {
+		t.Fatalf("drifted shard not degraded: %+v", sh)
+	}
+	if sh.Drift.MaxPSI <= 0.25 || sh.Drift.MaxPSIColumn != "softwareVersion" {
+		t.Fatalf("drift PSI missed the shifted column: %+v", sh.Drift)
+	}
+	if sh.Shadow == nil || sh.Shadow.Disagreed == 0 || sh.Shadow.DisagreementRatio <= 0 {
+		t.Fatalf("shadow refit missed the divergence: %+v", sh.Shadow)
+	}
+	if len(sh.Reasons) == 0 {
+		t.Fatalf("degraded shard reports no reasons: %+v", sh)
+	}
+	if other := shardOf(t, rep, 1); other.Status != "ok" {
+		t.Fatalf("untouched market degraded: %+v", other)
+	}
+	if len(flips) != 1 || !flips[0].Degraded || flips[0].Market != 0 {
+		t.Fatalf("want one degraded transition for market 0, got %+v", flips)
+	}
+	if sh.OpsSinceLoad != int64(len(batch)) {
+		t.Fatalf("ops since load = %d, want %d", sh.OpsSinceLoad, len(batch))
+	}
+}
+
+// TestModelHealthUndriftedChurnStaysOK: label-consistent round-trip churn
+// (upsert faithful clones, then tombstone them) plus real query traffic
+// keeps every shard ok — drift near zero, shadow in full agreement.
+func TestModelHealthUndriftedChurnStaysOK(t *testing.T) {
+	s := healthLiveServer(t, health.Config{
+		WindowSize: 512, MinDriftRows: 10, MinWindow: 1, ShadowProbes: -1,
+	})
+	w := s.world
+
+	ids := marketIDs(w.Net, 0)
+	var clones []ingestItem
+	for _, id := range ids {
+		clones = append(clones, faithfulWire(s, w, id))
+	}
+	for _, id := range ingestBatch(t, s, clones) {
+		if rec := deleteCarrier(t, s, id); rec.Code != http.StatusOK {
+			t.Fatalf("churn delete %d: %d: %s", id, rec.Code, rec.Body)
+		}
+	}
+	// Serve query traffic so the windows and query-side drift rows fill.
+	net, _, _, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := s.engine.Recommend(&net.Carriers[id], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := getModelHealth(t, s, "?refresh=shadow")
+	if rep.Status != "ok" {
+		t.Fatalf("undrifted churn degraded the server: %+v", rep)
+	}
+	sh := shardOf(t, rep, 0)
+	if sh.Status != "ok" || len(sh.Reasons) != 0 {
+		t.Fatalf("undrifted shard: %+v", sh)
+	}
+	if sh.Drift.MaxPSI > 0.25 {
+		t.Fatalf("undrifted churn drifted: %+v", sh.Drift)
+	}
+	if sh.Shadow == nil || sh.Shadow.Compared == 0 || sh.Shadow.Disagreed != 0 {
+		t.Fatalf("round-trip churn should leave shadow in agreement: %+v", sh.Shadow)
+	}
+	if sh.Window.Size == 0 || sh.Window.MeanConfidence <= 0 {
+		t.Fatalf("query traffic did not fill the window: %+v", sh.Window)
+	}
+	if sh.OpsSinceLoad != int64(2*len(ids)) {
+		t.Fatalf("ops since load = %d, want %d", sh.OpsSinceLoad, 2*len(ids))
+	}
+}
+
+// TestModelHealthEndpointErrors pins the endpoint's edge contract.
+func TestModelHealthEndpointErrors(t *testing.T) {
+	s := healthLiveServer(t, health.Config{})
+	rec := httptest.NewRecorder()
+	s.handleModelHealth(rec, httptest.NewRequest("GET", "/v1/health/model?refresh=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus refresh: %d, want 400: %s", rec.Code, rec.Body)
+	}
+	// A server without a tracker (focused tests) answers 503, not a panic.
+	bare := liveServer(t, "")
+	rec = httptest.NewRecorder()
+	bare.handleModelHealth(rec, httptest.NewRequest("GET", "/v1/health/model", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("trackerless health: %d, want 503: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestModelHealthJournalStaleness: the journal's replay lag feeds the
+// tracker on every gauge refresh, and crossing -health-max-lag-ops
+// degrades the report until compaction folds the backlog.
+func TestModelHealthJournalStaleness(t *testing.T) {
+	jpath := t.TempDir() + "/deltas.jsonl"
+	s := healthLiveServer(t, health.Config{MaxLagOps: 1})
+	// Attach a journal the way liveServer does, then re-route mutations
+	// through it.
+	s2 := liveServer(t, jpath)
+	s2.health = s.health
+	s2.health.Bind(s2.engine)
+	s2.engine.SetObserver(s2.health)
+	net0, _, _, err := s2.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, s2, donorItem(net0, 0))
+	mustIngest(t, s2, donorItem(net0, 1))
+	rep := getModelHealth(t, s2, "")
+	if rep.JournalLagOps != 2 || rep.Status != "degraded" {
+		t.Fatalf("lag 2 over threshold 1: %+v", rep)
+	}
+	rec := httptest.NewRecorder()
+	s2.handleCompact(rec, httptest.NewRequest("POST", "/v1/compact", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact: %d: %s", rec.Code, rec.Body)
+	}
+	rep = getModelHealth(t, s2, "")
+	if rep.JournalLagOps != 0 || rep.Status != "ok" {
+		t.Fatalf("compaction did not clear staleness: %+v", rep)
+	}
+}

@@ -421,6 +421,12 @@ func (s *server) restore(entries []journal.Entry) (int64, error) {
 	if s.engine == nil {
 		s.schema = cfg.Schema()
 		s.engine = auric.NewShardedEngine(s.schema, auric.EngineOptions{Local: true, Workers: s.workers})
+		// The observer attaches before the first Load so the tracker's
+		// baseline is the generation that actually serves.
+		if s.health != nil {
+			s.health.Bind(s.engine)
+			s.engine.SetObserver(s.health)
+		}
 	}
 	log.Printf("training %d market shards on %d carriers", len(net.Markets), len(net.Carriers))
 	if _, err := s.engine.Load(net, x2, cfg); err != nil {
@@ -471,11 +477,19 @@ func (s *server) countIngest(kind string, ok bool, n int) {
 	}
 }
 
-// updateJournalGauges publishes the journal's replay lag and byte size.
+// updateJournalGauges publishes the journal's replay lag and byte size,
+// and mirrors the lag into the model-health tracker's staleness check.
 func (s *server) updateJournalGauges() {
-	if s.journal == nil || s.journalLag == nil {
+	if s.journal == nil {
 		return
 	}
-	s.journalLag.Set(float64(s.journal.Entries()))
+	entries := s.journal.Entries()
+	if s.health != nil {
+		s.health.SetJournalLag(int64(entries))
+	}
+	if s.journalLag == nil {
+		return
+	}
+	s.journalLag.Set(float64(entries))
 	s.journalBytes.Set(float64(s.journal.Size()))
 }

@@ -13,6 +13,7 @@ import (
 
 	"auric"
 	"auric/internal/journal"
+	"auric/internal/obs"
 	"auric/internal/rng"
 )
 
@@ -406,4 +407,63 @@ func TestSizeTriggeredCompaction(t *testing.T) {
 	if _, err := os.Stat(jpath + ".snapshot"); err != nil {
 		t.Fatalf("compacted snapshot missing: %v", err)
 	}
+}
+
+// journalGauges asserts auric_journal_lag_ops and auric_journal_bytes
+// agree with the journal's actual state at a labeled point in time.
+func journalGauges(t *testing.T, s *server, ctx string, wantLag float64) {
+	t.Helper()
+	if got := s.journalLag.Value(); got != wantLag {
+		t.Fatalf("%s: auric_journal_lag_ops = %g, want %g", ctx, got, wantLag)
+	}
+	if got, want := s.journalBytes.Value(), float64(s.journal.Size()); got != want {
+		t.Fatalf("%s: auric_journal_bytes = %g, want %g (the journal's size)", ctx, got, want)
+	}
+}
+
+// TestJournalGaugeFreshness: the journal gauges must track reality through
+// every path that moves the journal — ingest appends, HTTP compaction,
+// crash replay on restart, and post-restart compaction. A stale
+// auric_journal_lag_ops misreports the replay a restart would pay, which
+// is the one number the compaction runbook pages on.
+func TestJournalGaugeFreshness(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "deltas.jsonl")
+	s := liveServer(t, jpath)
+	newHandler(s, handlerOptions{registry: obs.New()})
+	journalGauges(t, s, "fresh server", 0)
+
+	net0, _, _, err := s.engine.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, s, donorItem(net0, 0))
+	mustIngest(t, s, donorItem(net0, 1))
+	journalGauges(t, s, "after two ingests", 2)
+	if s.journalBytes.Value() == 0 {
+		t.Fatal("auric_journal_bytes still 0 after two appended deltas")
+	}
+
+	rec := httptest.NewRecorder()
+	s.handleCompact(rec, httptest.NewRequest("POST", "/v1/compact", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact: %d: %s", rec.Code, rec.Body)
+	}
+	journalGauges(t, s, "after compaction", 0)
+
+	mustIngest(t, s, donorItem(net0, 2))
+	journalGauges(t, s, "after post-compaction ingest", 1)
+	s.journal.Close() // crash: one delta lives only in the journal tail
+
+	// The restarted server replays that tail entry; its gauges must be
+	// seeded from the replayed journal, not left at their zero values.
+	s2 := liveServer(t, jpath)
+	newHandler(s2, handlerOptions{registry: obs.New()})
+	journalGauges(t, s2, "after crash replay", 1)
+
+	rec = httptest.NewRecorder()
+	s2.handleCompact(rec, httptest.NewRequest("POST", "/v1/compact", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-restart compact: %d: %s", rec.Code, rec.Body)
+	}
+	journalGauges(t, s2, "after post-restart compaction", 0)
 }

@@ -75,6 +75,7 @@ import (
 
 	"auric"
 	"auric/internal/audit"
+	"auric/internal/health"
 	"auric/internal/journal"
 	"auric/internal/obs"
 	"auric/internal/rng"
@@ -134,6 +135,9 @@ type server struct {
 	// audit, when non-nil, receives one record per recommendation value
 	// served by POST /v1/recommend.
 	audit *audit.Log
+	// health scores each shard's served model (windows, drift, shadow
+	// refits) behind GET /v1/health/model; nil only in focused tests.
+	health *health.Tracker
 }
 
 // handlerOptions configure the HTTP surface built by newHandler.
@@ -165,10 +169,32 @@ func main() {
 
 		journalPath = flag.String("journal", "", "append-only delta journal making live ingest durable across restarts (empty: ingest applies in memory only)")
 		journalMax  = flag.Int64("journal-max-bytes", 8<<20, "compact the journal into its snapshot when it exceeds this size (0 disables the size trigger)")
+
+		healthWindow          = flag.Int("health-window", 2048, "served predictions retained per market shard for model-health scoring (0 disables the rolling window)")
+		healthMinWindow       = flag.Int("health-min-window", 256, "window samples required before the unsupported-ratio threshold can degrade a shard")
+		healthMaxPSI          = flag.Float64("health-max-psi", 0.25, "degrade a shard when any attribute column's drift PSI against its training base exceeds this (<= 0 disables)")
+		healthMaxUnsupported  = flag.Float64("health-max-unsupported", 0.5, "degrade a shard when the unsupported share of its serving window exceeds this (<= 0 disables)")
+		healthMaxDisagreement = flag.Float64("health-max-disagreement", 0.02, "degrade a shard when its last shadow-refit disagreement ratio exceeds this (<= 0 disables)")
+		healthMaxLagOps       = flag.Int64("health-max-lag-ops", 0, "degrade every shard when the delta journal's replay lag exceeds this many entries (0 disables)")
+		healthShadowEvery     = flag.Int64("health-shadow-every", 0, "run an automatic background shadow refit of a market after this many applied ingest ops (0 disables; GET /v1/health/model?refresh=shadow always works)")
+		healthShadowProbes    = flag.Int("health-shadow-probes", 64, "carriers replayed per shadow-refit divergence check (< 0: the whole base cohort)")
 	)
 	flag.Parse()
 
 	s := &server{newRNG: rng.New(*seed ^ 0xd), streamChunk: *chunk, workers: *workers}
+	// The tracker exists before restore so the initial Load lands as its
+	// baseline; restore binds it to the engine it bootstraps.
+	s.health = health.New(obs.Default(), health.Config{
+		WindowSize:      *healthWindow,
+		MinWindow:       *healthMinWindow,
+		MaxPSI:          *healthMaxPSI,
+		MaxUnsupported:  *healthMaxUnsupported,
+		MaxDisagreement: *healthMaxDisagreement,
+		MaxLagOps:       *healthMaxLagOps,
+		ShadowEvery:     *healthShadowEvery,
+		ShadowProbes:    *healthShadowProbes,
+		OnTransition:    logHealthTransition,
+	})
 	if *auditPath != "" {
 		al, err := audit.Open(*auditPath, audit.Options{MaxBytes: *auditMaxBytes})
 		if err != nil {
@@ -379,6 +405,7 @@ func newHandler(s *server, opts handlerOptions) http.Handler {
 	mux.Handle("/v1/carriers/", m.Handler("/v1/carriers/", methodNotAllowed("GET, DELETE")))
 	route("POST", "/v1/carriers", s.handleIngest)
 	route("GET", "/v1/shards", s.handleShards)
+	route("GET", "/v1/health/model", s.handleModelHealth)
 	route("POST", "/v1/recommend", s.handleRecommend)
 	route("POST", "/v1/reload", s.handleReload)
 	route("POST", "/v1/compact", s.handleCompact)

@@ -72,9 +72,10 @@ type options struct {
 	engineWorkers int
 	target        string
 
-	minRPS      float64
-	minCPS      float64
-	maxFailures int64
+	minRPS         float64
+	minCPS         float64
+	maxFailures    int64
+	maxUnsupported float64
 }
 
 // report is the JSON document auricload emits; field names are the
@@ -94,11 +95,39 @@ type report struct {
 	RPS             float64 `json:"rps"` // requests per second
 	CarriersPerSec  float64 `json:"carriersPerSec"`
 	Latency         latency `json:"latencySeconds"`
+	// Prediction-quality fields (in-process mode only; the HTTP mode
+	// discards response bodies and cannot score them): how many per-
+	// parameter predictions the served requests carried, what share was
+	// unsupported (no evidence pool, engine fell back to the current
+	// value), and the mean prediction confidence. Pointers so the HTTP
+	// mode omits them instead of reporting a misleading zero.
+	Predictions      int64    `json:"predictions,omitempty"`
+	UnsupportedRatio *float64 `json:"unsupportedRatio,omitempty"`
+	MeanConfidence   *float64 `json:"meanConfidence,omitempty"`
 	// Churn-mode fields (-churn): ingest deltas applied while the load
 	// ran, how many failed, and the ingest latency distribution.
 	ChurnOps      int64    `json:"churnOps,omitempty"`
 	ChurnFailures int64    `json:"churnFailures,omitempty"`
 	ChurnLatency  *latency `json:"churnLatencySeconds,omitempty"`
+}
+
+// predStats accumulates one worker's prediction-quality tallies; each
+// worker owns one padded slot so the hot loop never shares a cache line.
+type predStats struct {
+	preds       int64
+	unsupported int64
+	confSum     float64
+	_           [5]int64
+}
+
+func (ps *predStats) note(recs []auric.Recommendation) {
+	for i := range recs {
+		ps.preds++
+		if !recs[i].Supported {
+			ps.unsupported++
+		}
+		ps.confSum += recs[i].Confidence
+	}
 }
 
 type latency struct {
@@ -124,6 +153,7 @@ func main() {
 	flag.Float64Var(&o.minRPS, "min-rps", 0, "fail the run below this request rate (0 disables)")
 	flag.Float64Var(&o.minCPS, "min-cps", 0, "fail the run below this many carriers served per second (0 disables; the batch-mode throughput gate)")
 	flag.Int64Var(&o.maxFailures, "max-failures", 0, "fail the run above this many failed requests (-1 disables)")
+	flag.Float64Var(&o.maxUnsupported, "max-unsupported", -1, "fail the run when the unsupported-prediction share exceeds this ratio (in-process mode; negative disables)")
 	reportPath := flag.String("report", "", "write the JSON report here instead of stdout")
 	flag.Parse()
 
@@ -153,6 +183,15 @@ func main() {
 		log.Fatalf("auricload: %d failed requests (%d of them ingest) exceed the -max-failures gate of %d",
 			rep.Failures+rep.ChurnFailures, rep.ChurnFailures, o.maxFailures)
 	}
+	if o.maxUnsupported >= 0 {
+		if rep.UnsupportedRatio == nil {
+			log.Fatalf("auricload: the run produced no scored predictions to gate -max-unsupported on")
+		}
+		if *rep.UnsupportedRatio > o.maxUnsupported {
+			log.Fatalf("auricload: unsupported-prediction ratio %.4f exceeds the -max-unsupported gate of %.4f",
+				*rep.UnsupportedRatio, o.maxUnsupported)
+		}
+	}
 }
 
 func run(o *options) (*report, error) {
@@ -167,6 +206,11 @@ func run(o *options) (*report, error) {
 	}
 	if o.churn > 0 && o.target != "" {
 		return nil, fmt.Errorf("-churn drives the in-process engine and cannot combine with -target")
+	}
+	if o.maxUnsupported >= 0 && o.target != "" {
+		// The HTTP workers discard response bodies, so there is nothing
+		// to score the gate against.
+		return nil, fmt.Errorf("-max-unsupported scores in-process predictions and cannot combine with -target")
 	}
 	if o.churn > 0 && o.reloads > 0 {
 		// A reload drops live-ingested carriers, so the churner's next
@@ -192,6 +236,7 @@ func runInProcess(o *options) (*report, error) {
 		"Latency per recommendation request issued by auricload.", obs.DefBuckets)
 
 	var requests, carriers, failures atomic.Int64
+	stats := make([]predStats, o.workers)
 	deadline := time.Now().Add(o.duration)
 	start := time.Now()
 
@@ -201,6 +246,7 @@ func runInProcess(o *options) (*report, error) {
 		go func(g int) {
 			defer wg.Done()
 			ctx := context.Background()
+			st := &stats[g]
 			n := len(w.Net.Carriers)
 			for i := g; time.Now().Before(deadline); i += o.batch {
 				t0 := time.Now()
@@ -213,6 +259,8 @@ func runInProcess(o *options) (*report, error) {
 					recs, err := engine.Recommend(c, neighbors)
 					if err != nil || len(recs) == 0 {
 						failures.Add(1)
+					} else {
+						st.note(recs)
 					}
 					carriers.Add(1)
 				} else {
@@ -231,6 +279,8 @@ func runInProcess(o *options) (*report, error) {
 						for _, r := range res {
 							if r.Err != nil || len(r.Recommendations) == 0 {
 								failures.Add(1)
+							} else {
+								st.note(r.Recommendations)
 							}
 						}
 					}
@@ -316,6 +366,20 @@ func runInProcess(o *options) (*report, error) {
 		Reloads:         o.reloads,
 	}
 	fill(rep, hist, elapsed)
+	var preds, unsupported int64
+	var confSum float64
+	for i := range stats {
+		preds += stats[i].preds
+		unsupported += stats[i].unsupported
+		confSum += stats[i].confSum
+	}
+	rep.Predictions = preds
+	if preds > 0 {
+		ur := float64(unsupported) / float64(preds)
+		mc := confSum / float64(preds)
+		rep.UnsupportedRatio = &ur
+		rep.MeanConfidence = &mc
+	}
 	if o.churn > 0 {
 		rep.ChurnOps = churnOps.Load()
 		rep.ChurnFailures = churnFailures.Load()

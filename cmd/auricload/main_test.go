@@ -44,6 +44,15 @@ func TestRunInProcess(t *testing.T) {
 	if l.Mean <= 0 {
 		t.Errorf("mean latency %g", l.Mean)
 	}
+	if rep.Predictions == 0 {
+		t.Fatal("no predictions scored")
+	}
+	if rep.UnsupportedRatio == nil || *rep.UnsupportedRatio < 0 || *rep.UnsupportedRatio > 1 {
+		t.Errorf("unsupportedRatio %v out of [0,1]", rep.UnsupportedRatio)
+	}
+	if rep.MeanConfidence == nil || *rep.MeanConfidence <= 0 || *rep.MeanConfidence > 1 {
+		t.Errorf("meanConfidence %v out of (0,1]", rep.MeanConfidence)
+	}
 
 	// The report round-trips as the JSON contract load_smoke.sh parses.
 	data, err := json.Marshal(rep)
@@ -83,12 +92,16 @@ func TestRunChurn(t *testing.T) {
 		t.Fatalf("churn latency missing: %+v", rep.ChurnLatency)
 	}
 
-	// The guards: churn cannot combine with -target or -reloads.
+	// The guards: churn cannot combine with -target or -reloads, and the
+	// unsupported gate only scores in-process predictions.
 	if _, err := run(&options{duration: time.Second, churn: 1, target: "http://x"}); err == nil {
 		t.Error("churn + target accepted")
 	}
 	if _, err := run(&options{duration: time.Second, churn: 1, reloads: 1}); err == nil {
 		t.Error("churn + reloads accepted")
+	}
+	if _, err := run(&options{duration: time.Second, maxUnsupported: 0.5, target: "http://x"}); err == nil {
+		t.Error("max-unsupported + target accepted")
 	}
 }
 
@@ -109,7 +122,7 @@ func TestRunHTTP(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	o := &options{target: srv.URL, duration: 200 * time.Millisecond, workers: 2, batch: 2}
+	o := &options{target: srv.URL, duration: 200 * time.Millisecond, workers: 2, batch: 2, maxUnsupported: -1}
 	rep, err := run(o)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +132,7 @@ func TestRunHTTP(t *testing.T) {
 	}
 
 	status = http.StatusInternalServerError
-	rep, err = run(&options{target: srv.URL, duration: 100 * time.Millisecond, workers: 1, batch: 1})
+	rep, err = run(&options{target: srv.URL, duration: 100 * time.Millisecond, workers: 1, batch: 1, maxUnsupported: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -251,6 +251,9 @@ func (se *ShardedEngine) Apply(d Delta) (ApplyResult, error) {
 		old.release() // drop the installed reference; in-flight requests hold theirs
 		<-old.drained
 	}
+	if o := se.observer(); o != nil {
+		o.ObserveApply(st.gen, net2, assigned, tombs)
+	}
 	return res, nil
 }
 

@@ -56,6 +56,8 @@ type ShardedEngine struct {
 	state  atomic.Pointer[shardState]
 	// loadMu serializes Load calls; the serving path never takes it.
 	loadMu sync.Mutex
+	// watcher holds the optional model-quality Observer (observer.go).
+	watcher atomic.Pointer[observerBox]
 }
 
 // shardState is one immutable serving generation: the snapshot inventory
@@ -142,6 +144,9 @@ func (se *ShardedEngine) Load(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) 
 	if old != nil {
 		old.release() // drop the installed reference; in-flight requests hold theirs
 		<-old.drained
+	}
+	if o := se.observer(); o != nil {
+		o.ObserveLoad(st.gen, net, x2, cfg)
 	}
 	return st.gen, nil
 }
@@ -230,7 +235,13 @@ func (se *ShardedEngine) RecommendContext(ctx context.Context, c *lte.Carrier, n
 	if err != nil {
 		return nil, err
 	}
-	return eng.RecommendContext(ctx, c, neighbors)
+	recs, err := eng.RecommendContext(ctx, c, neighbors)
+	if err == nil && len(recs) > 0 {
+		if o := se.observer(); o != nil {
+			o.ObserveServed(c.Market, c, recs)
+		}
+	}
+	return recs, err
 }
 
 // RecommendBatch answers a multi-market batch in one generation: items
@@ -279,6 +290,13 @@ func (se *ShardedEngine) RecommendBatch(ctx context.Context, items []BatchItem) 
 		}(st.shards[m], sub, idx)
 	}
 	wg.Wait()
+	if o := se.observer(); o != nil {
+		for i := range results {
+			if results[i].Err == nil && len(results[i].Recommendations) > 0 {
+				o.ObserveServed(items[i].Carrier.Market, items[i].Carrier, results[i].Recommendations)
+			}
+		}
+	}
 	return results, nil
 }
 
@@ -353,9 +371,13 @@ func (se *ShardedEngine) RecommendStream(ctx context.Context, items []BatchItem,
 	}()
 
 	// Emitter: strict request order, each item as soon as its chunk lands.
+	o := se.observer()
 	for i := range items {
 		if c := chunkOf[i]; c != nil {
 			<-c.done
+			if o != nil && results[i].Err == nil && len(results[i].Recommendations) > 0 {
+				o.ObserveServed(items[i].Carrier.Market, items[i].Carrier, results[i].Recommendations)
+			}
 		}
 		emit(i, results[i])
 	}

@@ -1,0 +1,128 @@
+package health
+
+import (
+	"math"
+	"sync"
+
+	"auric/internal/dataset"
+	"auric/internal/lte"
+	"auric/internal/stats"
+)
+
+// driftTable compares the attribute-value distribution of observed
+// carriers (ingest upserts + recommend queries) against the shard's
+// training base, one dense [values x 2] stats.CountTable per attribute
+// column: column 0 holds the base counts, column 1 the observed counts.
+// The chi-square over that table is the standard two-sample homogeneity
+// test — the same machinery cf runs for dependency selection — and the
+// PSI is the distribution-shift score operators alert on.
+type driftTable struct {
+	mu   sync.Mutex
+	cols []driftCol
+}
+
+type driftCol struct {
+	dict *dataset.Dict     // value string -> row of ct
+	ct   *stats.CountTable // rows: values, cols: 0 base / 1 observed
+}
+
+func (d *driftTable) init(columns int) {
+	d.cols = make([]driftCol, columns)
+	for i := range d.cols {
+		d.cols[i] = driftCol{dict: dataset.NewDict(), ct: stats.NewCountTable(0, 2)}
+	}
+}
+
+// addBase counts one training-base attribute row (Load-time only).
+func (d *driftTable) addBase(row []string) { d.add(row, 0) }
+
+// addObserved counts one ingested or queried attribute row.
+func (d *driftTable) addObserved(row []string) { d.add(row, 1) }
+
+func (d *driftTable) add(row []string, col int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.cols {
+		c := &d.cols[i]
+		code := int(c.dict.Intern(row[i]))
+		if code >= c.ct.Rows() {
+			c.ct.Grow(code+1, 2)
+		}
+		c.ct.Add(code, col)
+	}
+}
+
+// ColumnDrift is one attribute column's drift score.
+type ColumnDrift struct {
+	Column string  `json:"column"`
+	PSI    float64 `json:"psi"`
+	// ChiSquare is the two-sample homogeneity statistic over the base
+	// and observed counts, with its degrees of freedom.
+	ChiSquare float64 `json:"chiSquare"`
+	DF        int     `json:"df"`
+	// Values is the number of distinct values seen across both samples.
+	Values int `json:"values"`
+}
+
+// DriftStats summarizes a shard's attribute drift.
+type DriftStats struct {
+	// IngestedRows and QueriedRows count the observed-sample rows by
+	// source; drift thresholds apply once their sum reaches
+	// Config.MinDriftRows.
+	IngestedRows int64   `json:"ingestedRows"`
+	QueriedRows  int64   `json:"queriedRows"`
+	MaxPSI       float64 `json:"maxPsi"`
+	MaxPSIColumn string  `json:"maxPsiColumn,omitempty"`
+	// Columns reports every attribute column with a nonzero observed
+	// sample, sorted as in lte.AttributeNames.
+	Columns []ColumnDrift `json:"columns,omitempty"`
+}
+
+// stats scores every column. Columns with no observed rows are skipped
+// (their PSI is undefined until traffic arrives).
+func (d *driftTable) stats(ingested, queried int64) DriftStats {
+	out := DriftStats{IngestedRows: ingested, QueriedRows: queried}
+	names := lte.AttributeNames()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.cols {
+		c := &d.cols[i]
+		cd := scoreColumn(c.ct)
+		if cd == nil {
+			continue
+		}
+		cd.Column = names[i]
+		out.Columns = append(out.Columns, *cd)
+		if cd.PSI > out.MaxPSI {
+			out.MaxPSI, out.MaxPSIColumn = cd.PSI, cd.Column
+		}
+	}
+	return out
+}
+
+// scoreColumn computes one column's PSI and chi-square, or nil when no
+// observed rows have arrived. The PSI uses additive smoothing (0.5 per
+// cell) so values unseen on one side score finitely instead of blowing
+// up to infinity on a single novel carrier.
+func scoreColumn(ct *stats.CountTable) *ColumnDrift {
+	rows := ct.Rows()
+	baseN, obsN := 0, 0
+	for r := 0; r < rows; r++ {
+		baseN += ct.Count(r, 0)
+		obsN += ct.Count(r, 1)
+	}
+	if obsN == 0 || baseN == 0 {
+		return nil
+	}
+	const eps = 0.5
+	denomBase := float64(baseN) + eps*float64(rows)
+	denomObs := float64(obsN) + eps*float64(rows)
+	psi := 0.0
+	for r := 0; r < rows; r++ {
+		p := (float64(ct.Count(r, 0)) + eps) / denomBase
+		q := (float64(ct.Count(r, 1)) + eps) / denomObs
+		psi += (q - p) * math.Log(q/p)
+	}
+	stat, df := ct.ChiSquare()
+	return &ColumnDrift{PSI: psi, ChiSquare: stat, DF: df, Values: rows}
+}

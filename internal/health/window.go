@@ -1,0 +1,124 @@
+package health
+
+import (
+	"strconv"
+	"sync"
+
+	"auric/internal/core"
+)
+
+// sample is one served prediction in the rolling window, packed to keep
+// the window's memory at 8 bytes per prediction.
+type sample struct {
+	conf      float32
+	vote      float32
+	level     int8
+	supported bool
+}
+
+// window is a per-market rolling window over served predictions plus
+// lifetime counters. One mutex guards it; record appends all of one
+// carrier's predictions under a single acquisition and allocates nothing.
+type window struct {
+	mu  sync.Mutex
+	buf []sample // ring; nil when WindowSize is 0
+	pos int      // next write slot
+	n   int      // filled slots (<= len(buf))
+	// lifetime counters, never windowed
+	served      uint64
+	unsupported uint64
+}
+
+func (w *window) init(size int) {
+	if size > 0 {
+		w.buf = make([]sample, size)
+	}
+}
+
+// record appends one carrier's served predictions.
+func (w *window) record(recs []core.Recommendation) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range recs {
+		r := &recs[i]
+		w.served++
+		if !r.Supported {
+			w.unsupported++
+		}
+		if w.buf == nil {
+			continue
+		}
+		lvl := r.RelaxationLevel
+		if lvl > 127 {
+			lvl = 127
+		} else if lvl < -1 {
+			lvl = -1
+		}
+		w.buf[w.pos] = sample{
+			conf:      float32(r.Confidence),
+			vote:      float32(r.VoteShare),
+			level:     int8(lvl),
+			supported: r.Supported,
+		}
+		w.pos++
+		if w.pos == len(w.buf) {
+			w.pos = 0
+		}
+		if w.n < len(w.buf) {
+			w.n++
+		}
+	}
+}
+
+// WindowStats is the serving-quality summary of one market's window.
+type WindowStats struct {
+	// Served and Unsupported are lifetime prediction counters (since the
+	// last full retrain); the remaining fields summarize the rolling
+	// window of the last Size predictions.
+	Served      uint64 `json:"served"`
+	Unsupported uint64 `json:"unsupported"`
+	// Size is the number of predictions currently in the window.
+	Size int `json:"windowSize"`
+	// UnsupportedRatio is the unsupported share of the window.
+	UnsupportedRatio float64 `json:"unsupportedRatio"`
+	MeanConfidence   float64 `json:"meanConfidence"`
+	MeanVoteShare    float64 `json:"meanVoteShare"`
+	// RelaxationMix is the window share per relaxation-ladder level,
+	// keyed "0", "1", ... with "fallback" for the no-evidence level.
+	RelaxationMix map[string]float64 `json:"relaxationMix,omitempty"`
+}
+
+// stats summarizes the window.
+func (w *window) stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WindowStats{Served: w.served, Unsupported: w.unsupported, Size: w.n}
+	if w.n == 0 {
+		return st
+	}
+	var conf, vote float64
+	unsupported := 0
+	levels := make(map[int8]int, 4)
+	for i := 0; i < w.n; i++ {
+		s := &w.buf[i]
+		conf += float64(s.conf)
+		vote += float64(s.vote)
+		if !s.supported {
+			unsupported++
+		}
+		levels[s.level]++
+	}
+	n := float64(w.n)
+	st.UnsupportedRatio = float64(unsupported) / n
+	st.MeanConfidence = conf / n
+	st.MeanVoteShare = vote / n
+	st.RelaxationMix = make(map[string]float64, len(levels))
+	for lvl, c := range levels {
+		key := "fallback"
+		if lvl >= 0 {
+			key = strconv.Itoa(int(lvl))
+		}
+		st.RelaxationMix[key] = float64(c) / n
+	}
+	return st
+}

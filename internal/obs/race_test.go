@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExemplarRacesGather hammers ObserveExemplar from several writers
+// while readers Gather and render the text exposition concurrently. The
+// exemplar is an atomically swapped pointer: every rendered exposition
+// must carry a complete trace-id/value pair (never a torn half), and the
+// whole dance must be clean under -race.
+func TestExemplarRacesGather(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("race_exemplar_seconds", "exemplar race probe", DefBuckets)
+	reg.OnGather(func() { h.Observe(0) }) // hooks run inside Gather too
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveExemplar(float64(i%100)/100, fmt.Sprintf("trace-%d-%d", g, i))
+			}
+		}(g)
+	}
+
+	for r := 0; r < 500; r++ {
+		for _, fam := range reg.Gather() {
+			for _, s := range fam.Series {
+				if ex := s.Exemplar; ex != nil {
+					if ex.TraceID == "" || ex.Value < 0 || ex.Value > 1 {
+						t.Fatalf("torn exemplar: %+v", ex)
+					}
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(line, "# EXEMPLAR") {
+				continue
+			}
+			if !strings.Contains(line, "trace-") {
+				t.Fatalf("exemplar line lost its trace id: %q", line)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracesHandlerRacesWriters serves /debug/traces while writers commit
+// traces into the rings as fast as they can. The small ring capacity
+// forces constant slot reuse under the readers, so any unsynchronized
+// ring access is a -race failure, and every served body must still be
+// well-formed JSON (no torn traces).
+func TestTracesHandlerRacesWriters(t *testing.T) {
+	tr := New(Options{SampleRate: 1, SlowThreshold: time.Nanosecond, Capacity: 8, SlowCapacity: 4})
+	h := tr.TracesHandler()
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rctx, root := tr.StartRoot(ctx, "load")
+				cctx, child := Start(rctx, "stage")
+				child.SetStr("worker", "w")
+				child.SetInt("iter", int64(i))
+				_, leaf := Start(cctx, "leaf")
+				leaf.Finish()
+				child.Finish()
+				root.Finish()
+			}
+		}(g)
+	}
+
+	for r := 0; r < 200; r++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /debug/traces: %d: %s", rec.Code, rec.Body)
+		}
+		var out struct {
+			Traces []struct {
+				TraceID string `json:"traceId"`
+			} `json:"traces"`
+			Slow []struct {
+				TraceID string `json:"traceId"`
+			} `json:"slow"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("GET /debug/traces returned torn JSON under write load: %v", err)
+		}
+		for _, tc := range append(out.Traces, out.Slow...) {
+			if tc.TraceID == "" {
+				t.Fatal("served trace lost its id under write load")
+			}
+		}
+		// Raw snapshots race the same slots the handler reads.
+		for _, tc := range tr.Traces() {
+			if tc == nil {
+				t.Fatal("snapshot returned a nil trace")
+			}
+		}
+		tr.SlowTraces()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,9 +1,11 @@
 #!/bin/sh
-# doc-audit (flags + routes): every auricd command-line flag and HTTP
-# route must be documented in OPERATIONS.md. The flag and route lists are
-# extracted from cmd/auricd/main.go itself — the registration calls are
-# the single source of truth — so adding a flag or route without touching
-# the runbook fails `make check`, not a reviewer's memory.
+# doc-audit (flags + routes + metrics): every auricd command-line flag,
+# HTTP route, and registered auric_* metric must be documented in
+# OPERATIONS.md. The flag and route lists are extracted from
+# cmd/auricd/main.go, the metric list from every non-test Go source in
+# the repo — the registration calls are the single source of truth — so
+# adding a flag, route, or metric without touching the runbook fails
+# `make check`, not a reviewer's memory.
 set -eu
 
 src=cmd/auricd/main.go
@@ -31,7 +33,20 @@ for r in $routes; do
         echo "doc-audit: auricd route $r is not documented in $ops"; fail=1; }
 done
 
+# Metrics: every "auric_..." name registered anywhere in non-test code.
+# Test files are excluded by file path (a test registering a throwaway
+# series is not part of the operational surface), and the auricload_*
+# harness-internal histograms are out of scope by the name filter.
+metrics=$(grep -rho --include='*.go' --exclude='*_test.go' '"auric_[a-z0-9_]*"' . \
+    | tr -d '"' | sort -u)
+[ -n "$metrics" ] || { echo "doc-audit: extracted no auric_* metrics (extraction broken?)"; exit 1; }
+for m in $metrics; do
+    grep -q -- "$m" "$ops" || {
+        echo "doc-audit: metric $m is not listed in the $ops metrics catalogue"; fail=1; }
+done
+
 [ "$fail" -eq 0 ] || exit 1
 nflags=$(echo "$flags" | wc -l | tr -d ' ')
 nroutes=$(echo "$routes" | wc -l | tr -d ' ')
-echo "doc-audit: every auricd flag ($nflags) and route ($nroutes) documented in $ops"
+nmetrics=$(echo "$metrics" | wc -l | tr -d ' ')
+echo "doc-audit: every auricd flag ($nflags), route ($nroutes), and auric_* metric ($nmetrics) documented in $ops"

@@ -20,9 +20,20 @@ go build -o "$tmp/auricload" ./cmd/auricload
 report="$tmp/report.json"
 echo "load-smoke: 2s in-process load, batch 16, 1 reload mid-run"
 "$tmp/auricload" -markets 4 -enbs 8 -duration 2s -batch 16 -workers 4 \
-    -reloads 1 -max-failures 0 -min-cps 500 -report "$report"
+    -reloads 1 -max-failures 0 -min-cps 500 -max-unsupported 0.9 \
+    -report "$report"
 
 cat "$report"
+
+# The prediction-quality fields must be present and scored: a missing
+# unsupportedRatio or meanConfidence means the workers stopped scoring
+# served predictions, and the -max-unsupported gate above is a no-op.
+grep -q '"unsupportedRatio":' "$report" || {
+    echo "load-smoke: report lacks unsupportedRatio"; exit 1; }
+grep -q '"meanConfidence":' "$report" || {
+    echo "load-smoke: report lacks meanConfidence"; exit 1; }
+grep -q '"meanConfidence": 0,' "$report" && {
+    echo "load-smoke: meanConfidence is zero"; exit 1; }
 
 # The report must carry the latency quantiles the harness exists to
 # produce (a NaN or 0 p50 means the histogram never saw an observation).
