@@ -64,25 +64,29 @@ bench-json:
 # files (scripts/benchcompare) and is a hard gate: an ns/op regression
 # above MAX_REGRESS percent whose mean±spread intervals do not overlap
 # fails the build (spread comes from COUNT>1 bench-json runs; wobbles on
-# noisy benchmarks overlap and pass). MAX_REGRESS=0 restores report-only.
-# Explicit form:
-#   make bench-compare OLD=old.json NEW=new.json [MAX_REGRESS=PCT]
+# noisy benchmarks overlap and pass). allocs/op is gated the same way at
+# MAX_ALLOC_REGRESS — allocation counts are nearly deterministic, so the
+# alloc gate sits far tighter than the timing one and catches a hot path
+# quietly regrowing garbage. Setting either to 0 makes that metric
+# report-only. Explicit form:
+#   make bench-compare OLD=old.json NEW=new.json [MAX_REGRESS=PCT] [MAX_ALLOC_REGRESS=PCT]
 # Without OLD, any working-tree BENCH_*.json that differs from HEAD is
 # gated against its committed version.
 MAX_REGRESS ?= 60
+MAX_ALLOC_REGRESS ?= 30
 bench-compare:
 ifdef OLD
-	$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) $(OLD) $(NEW)
+	$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) -max-alloc-regress $(MAX_ALLOC_REGRESS) $(OLD) $(NEW)
 else
 	@status=0; for f in BENCH_cf.json BENCH_core.json BENCH_learn.json; do \
 		if git cat-file -e HEAD:$$f 2>/dev/null && ! git diff --quiet HEAD -- $$f 2>/dev/null; then \
 			base=$$(mktemp); git show HEAD:$$f > $$base; \
-			$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) $$base $$f || status=1; \
+			$(GO) run ./scripts/benchcompare -max-regress $(MAX_REGRESS) -max-alloc-regress $(MAX_ALLOC_REGRESS) $$base $$f || status=1; \
 			rm -f $$base; \
 		fi; \
 	done; \
-	[ $$status -eq 0 ] || { echo "bench-compare: regression gate failed (MAX_REGRESS=$(MAX_REGRESS)%)"; exit 1; }
-	@echo "bench-compare: done (gate at $(MAX_REGRESS)% vs committed baselines)"
+	[ $$status -eq 0 ] || { echo "bench-compare: regression gate failed (MAX_REGRESS=$(MAX_REGRESS)%, MAX_ALLOC_REGRESS=$(MAX_ALLOC_REGRESS)%)"; exit 1; }
+	@echo "bench-compare: done (ns/op gate $(MAX_REGRESS)%, allocs/op gate $(MAX_ALLOC_REGRESS)% vs committed baselines)"
 endif
 
 # serve-smoke boots auricd on a random port, exercises /healthz,

@@ -81,6 +81,9 @@ type (
 	// ShardedEngine serves one engine per market with atomic zero-downtime
 	// snapshot reload — the multi-market deployment shape of auricd.
 	ShardedEngine = core.ShardedEngine
+	// CacheStats is a point-in-time reading of a ShardedEngine's
+	// generation-keyed recommendation cache (EngineOptions.CacheEntries).
+	CacheStats = core.CacheStats
 	// Learner is the pluggable dependency-model learner interface.
 	Learner = learn.Learner
 )

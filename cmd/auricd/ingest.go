@@ -420,7 +420,7 @@ func (s *server) restore(entries []journal.Entry) (int64, error) {
 	}
 	if s.engine == nil {
 		s.schema = cfg.Schema()
-		s.engine = auric.NewShardedEngine(s.schema, auric.EngineOptions{Local: true, Workers: s.workers})
+		s.engine = auric.NewShardedEngine(s.schema, auric.EngineOptions{Local: true, Workers: s.workers, CacheEntries: s.cacheEntries})
 		// The observer attaches before the first Load so the tracker's
 		// baseline is the generation that actually serves.
 		if s.health != nil {

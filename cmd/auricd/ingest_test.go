@@ -22,7 +22,9 @@ import (
 func liveServer(t *testing.T, jpath string) *server {
 	t.Helper()
 	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: 3, Markets: 2, ENodeBsPerMarket: 8})
-	s := &server{newRNG: rng.New(1), world: w}
+	// cacheEntries is on, as in production: every ingest test then also
+	// exercises the generation-keyed cache's structural invalidation.
+	s := &server{newRNG: rng.New(1), world: w, cacheEntries: 256}
 	s.source = func() (*auric.Network, *auric.X2Graph, *auric.Config, error) {
 		return w.Net, w.X2, w.Current, nil
 	}
@@ -466,4 +468,78 @@ func TestJournalGaugeFreshness(t *testing.T) {
 		t.Fatalf("post-restart compact: %d: %s", rec.Code, rec.Body)
 	}
 	journalGauges(t, s2, "after post-restart compaction", 0)
+}
+
+// TestIngestInvalidatesRecommendCache pins the serving cache's structural
+// invalidation at the HTTP layer: POST /v1/recommend twice (the second is
+// a cache hit), then POST /v1/carriers a swarm of clones co-sited with the
+// queried carrier that all vote one singular parameter a grid level away.
+// The 1-hop eNodeB scope includes the clones, so the recommendation must
+// flip to the swarm's value — a stale cached answer cannot pass.
+func TestIngestInvalidatesRecommendCache(t *testing.T) {
+	s := liveServer(t, "")
+	const donor = 5
+	body := fmt.Sprintf(`{"carrier": %d}`, donor)
+	recommend := func() map[string]float64 {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.handleRecommend(rec, httptest.NewRequest("POST", "/v1/recommend", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("recommend status %d: %s", rec.Code, rec.Body)
+		}
+		var resp struct {
+			Recommendations []struct {
+				Param string  `json:"param"`
+				Value float64 `json:"value"`
+			} `json:"recommendations"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]float64, len(resp.Recommendations))
+		for _, r := range resp.Recommendations {
+			out[r.Param] = r.Value
+		}
+		return out
+	}
+
+	warm := recommend()
+	if again := recommend(); !reflect.DeepEqual(again, warm) {
+		t.Fatalf("repeat request changed with no ingest in between:\n%v\n%v", again, warm)
+	}
+	st := s.engine.CacheStats()
+	if !st.Enabled || st.Hits == 0 {
+		t.Fatalf("repeat request did not hit the cache: %+v", st)
+	}
+
+	pi := s.schema.Singular()[0]
+	p := s.schema.At(pi)
+	cur, ok := warm[p.Name]
+	if !ok {
+		t.Fatalf("warm answer carries no %s recommendation", p.Name)
+	}
+	alt := p.ValueAt((p.Index(cur) + 1) % p.Levels())
+	it := donorItem(s.world.Net, donor)
+	it.Config = map[string]float64{p.Name: alt}
+	swarm := make([]ingestItem, 64)
+	for i := range swarm {
+		swarm[i] = it
+	}
+	sb, err := json.Marshal(swarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := postIngest(t, s, string(sb)); rec.Code != http.StatusOK {
+		t.Fatalf("swarm ingest status %d: %s", rec.Code, rec.Body)
+	}
+
+	got := recommend()
+	if got[p.Name] != alt {
+		t.Errorf("%s = %v after the swarm voted %v; the cached pre-ingest answer leaked through",
+			p.Name, got[p.Name], alt)
+	}
+	after := s.engine.CacheStats()
+	if after.Invalidations != st.Invalidations+1 {
+		t.Errorf("invalidations = %d after one ingest batch, want %d", after.Invalidations, st.Invalidations+1)
+	}
 }

@@ -93,6 +93,9 @@ type server struct {
 	// workers is the per-shard worker pool size restore passes to the
 	// engine it bootstraps.
 	workers int
+	// cacheEntries sizes the engine's generation-keyed recommendation
+	// memo cache (0 disables it).
+	cacheEntries int
 	// reloadMu serializes every state mutation: snapshot reloads (HTTP and
 	// SIGHUP), live ingest, and journal compaction. Serving never takes it.
 	reloadMu sync.Mutex
@@ -157,6 +160,8 @@ func main() {
 		load      = flag.String("load", "", "serve a network snapshot (auricgen -save) instead of generating")
 		workers   = flag.Int("workers", 0, "train/recommend worker pool size per shard (0 = all CPUs)")
 		chunk     = flag.Int("stream-chunk", 0, "carriers per NDJSON flush chunk (0 = engine default)")
+		cacheSize = flag.Int("cache-entries", 4096, "recommendation sets memoized by the generation-keyed serving cache; reload and ingest start it cold (0 disables)")
+		cacheOff  = flag.Bool("cache-off", false, "disable the recommendation memo cache regardless of -cache-entries")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", true, "log one structured line per request")
 
@@ -181,7 +186,10 @@ func main() {
 	)
 	flag.Parse()
 
-	s := &server{newRNG: rng.New(*seed ^ 0xd), streamChunk: *chunk, workers: *workers}
+	s := &server{newRNG: rng.New(*seed ^ 0xd), streamChunk: *chunk, workers: *workers, cacheEntries: *cacheSize}
+	if *cacheOff {
+		s.cacheEntries = 0
+	}
 	// The tracker exists before restore so the initial Load lands as its
 	// baseline; restore binds it to the engine it bootstraps.
 	s.health = health.New(obs.Default(), health.Config{
@@ -613,11 +621,13 @@ func (s *server) handleRecommend(rw http.ResponseWriter, r *http.Request) {
 	// The root span's trace id joins the response, the span tree at
 	// /debug/traces and the audit records (present at any sample rate).
 	traceID := requestTraceID(r)
+	dtos := s.renderRecommendations(carrier, recs, traceID)
 	writeJSON(rw, map[string]any{
 		"carrier":         carrier.ID,
 		"traceId":         traceID,
-		"recommendations": s.renderRecommendations(carrier, recs, traceID),
+		"recommendations": dtos,
 	})
+	putRecDTOs(dtos)
 }
 
 // batchEntry is one item's slot in a batch response: recommendations or
@@ -691,6 +701,9 @@ func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, b
 		"traceId": traceID,
 		"results": entries,
 	})
+	for i := range entries {
+		putRecDTOs(entries[i].Recommendations)
+	}
 }
 
 // streamRecommendBatch writes the batch as NDJSON: one compact JSON
@@ -702,15 +715,23 @@ func (s *server) handleRecommendBatch(rw http.ResponseWriter, r *http.Request, b
 func (s *server) streamRecommendBatch(rw http.ResponseWriter, r *http.Request, entries []batchEntry, items []auric.BatchItem, itemOf []int, traceID string) {
 	rw.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := rw.(http.Flusher)
+	// One pooled buffer + encoder serves every line of the stream (the
+	// encoder appends the NDJSON newline itself); per-line DTO slices
+	// return to their pool the moment the line is on the wire.
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	defer jsonBufs.Put(buf)
+	enc := json.NewEncoder(buf)
 	next := 0 // next request index to write
 	writeUpTo := func(limit int) {
 		for ; next < limit; next++ {
-			line, err := json.Marshal(&entries[next])
-			if err != nil {
-				line = []byte(`{"carrier":-1,"error":"encoding entry"}`)
+			buf.Reset()
+			if err := enc.Encode(&entries[next]); err != nil {
+				buf.Reset()
+				buf.WriteString("{\"carrier\":-1,\"error\":\"encoding entry\"}\n")
 			}
-			rw.Write(line)
-			io.WriteString(rw, "\n")
+			rw.Write(buf.Bytes())
+			putRecDTOs(entries[next].Recommendations)
+			entries[next].Recommendations = nil
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -782,7 +803,7 @@ func (s *server) resolveRecommend(net *auric.Network, x2 *auric.X2Graph, req rec
 // either way.
 func (s *server) renderRecommendations(carrier *auric.Carrier, recs []auric.Recommendation, traceID string) []recommendation {
 	now := time.Now()
-	out := make([]recommendation, 0, len(recs))
+	out := getRecDTOs(len(recs))
 	for _, rec := range recs {
 		out = append(out, recommendation{
 			Param:           rec.Param,
@@ -856,6 +877,35 @@ func isJSONArray(body []byte) bool {
 // a pooled buffer instead of a per-response one keeps the serving path's
 // allocation rate flat under load.
 var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// recDTOPool recycles the []recommendation DTO slices every response body
+// is built from; callers return them via putRecDTOs once the bytes are on
+// the wire (the encoder has copied everything it needs by then).
+var recDTOPool = sync.Pool{New: func() any { s := make([]recommendation, 0, 80); return &s }}
+
+func getRecDTOs(n int) []recommendation {
+	p := recDTOPool.Get().(*[]recommendation)
+	s := *p
+	if cap(s) < n {
+		*p = nil
+		recDTOPool.Put(p)
+		return make([]recommendation, 0, n)
+	}
+	// Hand out the backing array and recycle the header box; the slice
+	// comes back through putRecDTOs.
+	*p = nil
+	recDTOPool.Put(p)
+	return s[:0]
+}
+
+func putRecDTOs(s []recommendation) {
+	if cap(s) == 0 {
+		return
+	}
+	clear(s[:cap(s)])
+	s = s[:0]
+	recDTOPool.Put(&s)
+}
 
 func writeJSON(rw http.ResponseWriter, v any) {
 	writeJSONStatus(rw, http.StatusOK, v)

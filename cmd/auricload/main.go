@@ -39,15 +39,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,6 +71,13 @@ type options struct {
 	pairwise bool
 	reloads  int
 	churn    float64
+
+	// uniqueCarriers restricts the traffic to this many distinct requests,
+	// zipf-distributed so a few carriers repeat heavily — the repeat-heavy
+	// shape the generation-keyed serving cache exists for. 0 keeps the
+	// historical uniform sweep over every carrier.
+	uniqueCarriers int
+	cacheEntries   int
 
 	engineWorkers int
 	target        string
@@ -109,6 +119,25 @@ type report struct {
 	ChurnOps      int64    `json:"churnOps,omitempty"`
 	ChurnFailures int64    `json:"churnFailures,omitempty"`
 	ChurnLatency  *latency `json:"churnLatencySeconds,omitempty"`
+	// Serving-cache fields: how much of the run's traffic the generation-
+	// keyed cache absorbed. In-process they read the engine's CacheStats;
+	// in HTTP mode they come from the target's auric_cache_* metrics delta
+	// across the run, and are omitted when the target does not expose them
+	// (or the cache is disabled).
+	UniqueCarriers int      `json:"uniqueCarriers,omitempty"`
+	CacheHits      int64    `json:"cacheHits,omitempty"`
+	CacheMisses    int64    `json:"cacheMisses,omitempty"`
+	HitRatio       *float64 `json:"hitRatio,omitempty"`
+}
+
+// cacheReport fills the report's serving-cache fields from a hit/miss
+// tally covering the run.
+func (rep *report) cacheReport(hits, misses int64) {
+	rep.CacheHits, rep.CacheMisses = hits, misses
+	if total := hits + misses; total > 0 {
+		hr := float64(hits) / float64(total)
+		rep.HitRatio = &hr
+	}
 }
 
 // predStats accumulates one worker's prediction-quality tallies; each
@@ -148,6 +177,8 @@ func main() {
 	flag.BoolVar(&o.pairwise, "pairwise", false, "request pair-wise recommendations too")
 	flag.IntVar(&o.reloads, "reloads", 0, "snapshot reloads performed while the load runs")
 	flag.Float64Var(&o.churn, "churn", 0, "live-ingest deltas per second racing the load (in-process mode; 0 disables)")
+	flag.IntVar(&o.uniqueCarriers, "unique-carriers", 0, "restrict traffic to this many distinct carriers, zipf-distributed so a few repeat heavily (0 = uniform over every carrier)")
+	flag.IntVar(&o.cacheEntries, "cache-entries", 4096, "generation-keyed serving cache size of the in-process engine (0 disables)")
 	flag.IntVar(&o.engineWorkers, "engine-workers", 1, "per-shard engine worker pool (keep 1: the load workers provide the parallelism)")
 	flag.StringVar(&o.target, "target", "", "drive a live auricd at this base URL instead of in-process")
 	flag.Float64Var(&o.minRPS, "min-rps", 0, "fail the run below this request rate (0 disables)")
@@ -194,12 +225,55 @@ func main() {
 	}
 }
 
+// carrierPicker chooses which carrier each request asks about. The
+// uniform mode sweeps every carrier in order (the historical shape); the
+// -unique-carriers mode draws from a zipf distribution over a fixed
+// subset, so rank 0 repeats far more often than rank k — the repeat-heavy
+// traffic a launch queue produces (the same few about-to-launch carriers
+// polled again and again) and the shape the serving cache absorbs.
+type carrierPicker struct {
+	zipf   *rand.Zipf
+	unique int
+	total  int
+}
+
+func newPicker(o *options, worker, total int) *carrierPicker {
+	p := &carrierPicker{total: total}
+	if o.uniqueCarriers > 0 {
+		p.unique = o.uniqueCarriers
+		if p.unique > total {
+			p.unique = total
+		}
+		if p.unique > 1 {
+			r := rand.New(rand.NewSource(int64(o.seed)*1024 + int64(worker)))
+			p.zipf = rand.NewZipf(r, 1.2, 1, uint64(p.unique-1))
+		}
+	}
+	return p
+}
+
+// next returns the carrier index for the request with sequential index seq.
+func (p *carrierPicker) next(seq int) int {
+	if p.unique == 0 {
+		return seq % p.total
+	}
+	if p.zipf == nil { // -unique-carriers 1
+		return 0
+	}
+	// Spread the zipf ranks across the id space (and so across markets)
+	// instead of concentrating them in the low-id market.
+	return int(p.zipf.Uint64()) * p.total / p.unique
+}
+
 func run(o *options) (*report, error) {
 	if o.workers <= 0 {
 		o.workers = runtime.GOMAXPROCS(0)
 	}
 	if o.batch < 1 {
 		o.batch = 1
+	}
+	if o.uniqueCarriers < 0 {
+		o.uniqueCarriers = 0
 	}
 	if o.duration <= 0 {
 		return nil, fmt.Errorf("duration %v is not positive", o.duration)
@@ -228,7 +302,7 @@ func run(o *options) (*report, error) {
 // swaps racing the load.
 func runInProcess(o *options) (*report, error) {
 	w := auric.SimulateNetwork(auric.NetworkOptions{Seed: o.seed, Markets: o.markets, ENodeBsPerMarket: o.enbs})
-	engine := auric.NewShardedEngine(w.Schema, auric.EngineOptions{Local: true, Workers: o.engineWorkers})
+	engine := auric.NewShardedEngine(w.Schema, auric.EngineOptions{Local: true, Workers: o.engineWorkers, CacheEntries: o.cacheEntries})
 	if _, err := engine.Load(w.Net, w.X2, w.Current); err != nil {
 		return nil, err
 	}
@@ -247,11 +321,11 @@ func runInProcess(o *options) (*report, error) {
 			defer wg.Done()
 			ctx := context.Background()
 			st := &stats[g]
-			n := len(w.Net.Carriers)
+			pick := newPicker(o, g, len(w.Net.Carriers))
 			for i := g; time.Now().Before(deadline); i += o.batch {
 				t0 := time.Now()
 				if o.batch == 1 {
-					c := &w.Net.Carriers[i%n]
+					c := &w.Net.Carriers[pick.next(i)]
 					var neighbors []auric.CarrierID
 					if o.pairwise {
 						neighbors = w.X2.CarrierNeighbors(c.ID)
@@ -266,7 +340,7 @@ func runInProcess(o *options) (*report, error) {
 				} else {
 					items := make([]auric.BatchItem, o.batch)
 					for j := range items {
-						c := &w.Net.Carriers[(i+j)%n]
+						c := &w.Net.Carriers[pick.next(i+j)]
 						items[j] = auric.BatchItem{Carrier: c}
 						if o.pairwise {
 							items[j].Neighbors = w.X2.CarrierNeighbors(c.ID)
@@ -393,6 +467,10 @@ func runInProcess(o *options) (*report, error) {
 		}
 		rep.ChurnLatency = cl
 	}
+	rep.UniqueCarriers = o.uniqueCarriers
+	if cs := engine.CacheStats(); cs.Enabled {
+		rep.cacheReport(int64(cs.Hits), int64(cs.Misses))
+	}
 	return rep, nil
 }
 
@@ -420,6 +498,9 @@ func runHTTP(o *options) (*report, error) {
 		"Latency per recommendation request issued by auricload.", obs.DefBuckets)
 
 	client := &http.Client{Timeout: 2 * time.Minute}
+	// Cache counters before the load: the report's hit ratio is the delta
+	// across the run, so a long-lived target's history does not dilute it.
+	hits0, misses0, scraped := scrapeCacheCounters(client, base)
 	var requests, carriers, failures atomic.Int64
 	deadline := time.Now().Add(o.duration)
 	start := time.Now()
@@ -428,8 +509,9 @@ func runHTTP(o *options) (*report, error) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			pick := newPicker(o, g, net.Carriers)
 			for i := g; time.Now().Before(deadline); i += o.batch {
-				body := requestBody(o, i, net.Carriers)
+				body := requestBody(o, pick, i)
 				t0 := time.Now()
 				resp, err := client.Post(base+"/v1/recommend", "application/json", bytes.NewReader(body))
 				if err != nil {
@@ -458,12 +540,52 @@ func runHTTP(o *options) (*report, error) {
 		Failures:        failures.Load(),
 	}
 	fill(rep, hist, elapsed)
+	rep.UniqueCarriers = o.uniqueCarriers
+	if scraped {
+		if hits1, misses1, ok := scrapeCacheCounters(client, base); ok {
+			rep.cacheReport(hits1-hits0, misses1-misses0)
+		}
+	}
 	return rep, nil
+}
+
+// scrapeCacheCounters reads the target's auric_cache_hits_total and
+// auric_cache_misses_total from /metrics. ok is false when the endpoint
+// or the counters are absent (an auricd without the cache, or any other
+// server): the report then simply omits the cache fields.
+func scrapeCacheCounters(client *http.Client, base string) (hits, misses int64, ok bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, false
+	}
+	var haveHits, haveMisses bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			continue
+		}
+		switch f[0] {
+		case "auric_cache_hits_total":
+			hits, haveHits = int64(v), true
+		case "auric_cache_misses_total":
+			misses, haveMisses = int64(v), true
+		}
+	}
+	return hits, misses, haveHits && haveMisses
 }
 
 // requestBody builds the i-th request: a single object for batch 1, an
 // array of batch carrier objects otherwise.
-func requestBody(o *options, i, carriers int) []byte {
+func requestBody(o *options, pick *carrierPicker, i int) []byte {
 	one := func(id int) string {
 		if o.pairwise {
 			return fmt.Sprintf(`{"carrier": %d, "pairwise": true}`, id)
@@ -471,11 +593,11 @@ func requestBody(o *options, i, carriers int) []byte {
 		return fmt.Sprintf(`{"carrier": %d}`, id)
 	}
 	if o.batch == 1 {
-		return []byte(one(i % carriers))
+		return []byte(one(pick.next(i)))
 	}
 	parts := make([]string, o.batch)
 	for j := range parts {
-		parts[j] = one((i + j) % carriers)
+		parts[j] = one(pick.next(i + j))
 	}
 	return []byte("[" + strings.Join(parts, ",") + "]")
 }

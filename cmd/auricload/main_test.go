@@ -143,7 +143,8 @@ func TestRunHTTP(t *testing.T) {
 
 // TestRequestBody pins both request shapes to valid auricd request JSON.
 func TestRequestBody(t *testing.T) {
-	single := requestBody(&options{batch: 1}, 3, 10)
+	uniform := newPicker(&options{}, 0, 10)
+	single := requestBody(&options{batch: 1}, uniform, 3)
 	var obj map[string]any
 	if err := json.Unmarshal(single, &obj); err != nil {
 		t.Fatalf("single body %s: %v", single, err)
@@ -151,7 +152,7 @@ func TestRequestBody(t *testing.T) {
 	if obj["carrier"].(float64) != 3 {
 		t.Errorf("single body %s", single)
 	}
-	batch := requestBody(&options{batch: 3, pairwise: true}, 8, 10)
+	batch := requestBody(&options{batch: 3, pairwise: true}, uniform, 8)
 	var arr []map[string]any
 	if err := json.Unmarshal(batch, &arr); err != nil {
 		t.Fatalf("batch body %s: %v", batch, err)
@@ -159,6 +160,49 @@ func TestRequestBody(t *testing.T) {
 	if len(arr) != 3 || arr[0]["carrier"].(float64) != 8 || arr[1]["carrier"].(float64) != 9 ||
 		arr[2]["carrier"].(float64) != 0 || arr[2]["pairwise"] != true {
 		t.Errorf("batch body %s", batch)
+	}
+}
+
+// TestCarrierPicker pins the traffic shapes: uniform sweeps the whole id
+// space, -unique-carriers bounds the distinct ids drawn (Zipf-skewed,
+// spread across the id space rather than packed into the low-id market),
+// and -unique-carriers 1 hammers a single carrier.
+func TestCarrierPicker(t *testing.T) {
+	uniform := newPicker(&options{}, 0, 7)
+	for i := 0; i < 14; i++ {
+		if got := uniform.next(i); got != i%7 {
+			t.Fatalf("uniform next(%d) = %d, want %d", i, got, i%7)
+		}
+	}
+
+	o := &options{seed: 3, uniqueCarriers: 4}
+	skewed := newPicker(o, 1, 100)
+	seen := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		id := skewed.next(i)
+		if id < 0 || id >= 100 {
+			t.Fatalf("next out of range: %d", id)
+		}
+		seen[id]++
+	}
+	if len(seen) > o.uniqueCarriers {
+		t.Errorf("drew %d distinct carriers, want <= %d", len(seen), o.uniqueCarriers)
+	}
+	// Zipf rank 0 maps to id 0 and must dominate the draw.
+	if seen[0] < 1000 {
+		t.Errorf("hot carrier drew %d of 2000, want a Zipf-heavy majority", seen[0])
+	}
+
+	one := newPicker(&options{uniqueCarriers: 1}, 0, 50)
+	for i := 0; i < 5; i++ {
+		if got := one.next(i); got != 0 {
+			t.Fatalf("unique=1 next(%d) = %d, want 0", i, got)
+		}
+	}
+
+	// unique-carriers above the inventory clamps to the inventory.
+	if p := newPicker(&options{seed: 1, uniqueCarriers: 99}, 0, 8); p.unique != 8 {
+		t.Errorf("unique clamped to %d, want 8", p.unique)
 	}
 }
 

@@ -56,6 +56,65 @@ func BenchmarkEngineRecommend(b *testing.B) {
 	}
 }
 
+// BenchmarkRecommendCached measures the generation-keyed cache's hit path:
+// one warm-up request materializes the answer, then every iteration serves
+// the same (generation, carrier, neighbors) key from the memo. This is the
+// steady-state cost of repeat traffic and should sit orders of magnitude
+// below BenchmarkEngineRecommend's full compute.
+func BenchmarkRecommendCached(b *testing.B) {
+	w := benchWorld(b)
+	se := NewSharded(w.Schema, Options{Workers: 1, CacheEntries: 1024})
+	if _, err := se.Load(w.Net, w.X2, w.Current); err != nil {
+		b.Fatal(err)
+	}
+	c := &w.Net.Carriers[10]
+	nbs := w.X2.CarrierNeighbors(c.ID)
+	if _, err := se.Recommend(c, nbs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := se.Recommend(c, nbs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := se.CacheStats(); st.Hits < uint64(b.N) {
+		b.Fatalf("expected >= %d cache hits, got %d", b.N, st.Hits)
+	}
+}
+
+// BenchmarkRecommendColdAllocs measures the cache-miss (cold compute) path
+// with the cache enabled: a deliberately tiny cache and a carrier cycle
+// wider than its capacity force every request through the full compute plus
+// a key build, a put, and an eviction. allocs/op here is the figure the
+// serving-path allocation sweep targets; compare against the committed
+// BenchmarkEngineRecommend baseline.
+func BenchmarkRecommendColdAllocs(b *testing.B) {
+	w := benchWorld(b)
+	se := NewSharded(w.Schema, Options{Workers: 1, CacheEntries: 16})
+	if _, err := se.Load(w.Net, w.X2, w.Current); err != nil {
+		b.Fatal(err)
+	}
+	carriers := w.Net.Carriers
+	if len(carriers) < 64 {
+		b.Fatalf("bench world too small: %d carriers", len(carriers))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &carriers[i%64]
+		if _, err := se.Recommend(c, w.X2.CarrierNeighbors(c.ID)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := se.CacheStats(); b.N >= 128 && st.Misses < uint64(b.N)/2 {
+		b.Fatalf("cold bench unexpectedly warm: %d misses over %d ops", st.Misses, b.N)
+	}
+}
+
 // BenchmarkIngestUpsert measures absorbing one carrier through live ingest:
 // each iteration applies a delta with one fresh carrier (cloned from a
 // donor, fully configured, pair relations included) plus the tombstone of

@@ -19,6 +19,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"auric/internal/dataset"
@@ -75,6 +77,12 @@ type Options struct {
 	// count affects timing only: results are bit-for-bit identical at any
 	// setting.
 	Workers int
+	// CacheEntries, when positive, puts a generation-keyed memo cache of
+	// that many fully materialized recommendation sets in front of
+	// ShardedEngine serving (see cache.go). Cached answers are
+	// byte-identical to computed ones; a reload or live-ingest delta
+	// starts the cache cold. Zero disables caching.
+	CacheEntries int
 	// X2 configures the X2 graph rebuild ShardedEngine.Apply performs when
 	// a delta changes the inventory. It must match the options the serving
 	// graph was originally built with; the zero value is the geo package's
@@ -200,6 +208,25 @@ type Recommendation struct {
 	Dependents []string
 }
 
+// CopyRecommendations deep-copies a recommendation slice. Cached results
+// from the generation-keyed serving cache are shared across requests and
+// must not be mutated; callers that need to edit an answer in place copy
+// it first. Dependents is the only slice field, everything else copies by
+// value.
+func CopyRecommendations(recs []Recommendation) []Recommendation {
+	if recs == nil {
+		return nil
+	}
+	out := make([]Recommendation, len(recs))
+	copy(out, recs)
+	for i := range out {
+		if d := out[i].Dependents; d != nil {
+			out[i].Dependents = append(make([]string, 0, len(d)), d...)
+		}
+	}
+	return out
+}
+
 // dependentValuer is implemented by models that can report the
 // "name=value" evidence key of a query row (cf.Model does).
 type dependentValuer interface {
@@ -297,30 +324,66 @@ func (e *Engine) scopesFor(ids []lte.CarrierID) []learn.Scope {
 	return scopes
 }
 
+// itemState is one batch item's planning state within recommendMany.
+type itemState struct {
+	ctx      context.Context
+	sp       *trace.Span
+	start    time.Time
+	scopes   []learn.Scope
+	scope    func(dataset.Site) bool
+	scoped   bool
+	firstJob int
+	numJobs  int
+	err      error
+}
+
+// recJob is one (item, parameter, neighbor) prediction of a batch fan-out.
+type recJob struct {
+	item     int
+	pi       int
+	attrs    []string
+	codes    []int32
+	neighbor lte.CarrierID
+}
+
+// recScratch is the pooled planning storage of one recommendMany call:
+// item states, the flattened job list, per-job error slots, and the
+// arenas attribute vectors and their encodings are appended into. Only
+// the output Recommendation slice escapes into results; everything here
+// is cleared (no retained pointers) and reused by the next batch.
+type recScratch struct {
+	states []itemState
+	jobs   []recJob
+	errs   []error
+	attrs  []string // backing arena for attribute vectors
+	codes  []int32  // backing arena for encoded query rows
+}
+
+var recScratchPool = sync.Pool{New: func() any { return new(recScratch) }}
+
+func putRecScratch(sc *recScratch) {
+	clear(sc.states)
+	clear(sc.jobs)
+	clear(sc.errs)
+	clear(sc.attrs)
+	sc.states, sc.jobs, sc.errs = sc.states[:0], sc.jobs[:0], sc.errs[:0]
+	sc.attrs, sc.codes = sc.attrs[:0], sc.codes[:0]
+	recScratchPool.Put(sc)
+}
+
+// rowAppender is the allocation-free encoding hook of a learn.CodesModel:
+// cf.Model implements it, letting the batch planner append each query
+// row's codes into a pooled arena instead of allocating per row.
+type rowAppender interface {
+	AppendEncodeRow(dst []int32, row []string) []int32
+}
+
 // recommendMany is the shared core of RecommendContext and RecommendBatch:
 // it plans every item's (parameter, neighbor) jobs, flattens them into one
 // worker-pool fan-out, and reassembles per-item results. Each job writes
 // its preallocated slot and the fitted models are read-only, so the output
 // is byte-identical to the serial walk at any worker count.
 func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchResult {
-	type itemState struct {
-		ctx      context.Context
-		sp       *trace.Span
-		start    time.Time
-		scopes   []learn.Scope
-		scope    func(dataset.Site) bool
-		scoped   bool
-		firstJob int
-		numJobs  int
-		err      error
-	}
-	type job struct {
-		item     int
-		pi       int
-		attrs    []string
-		codes    []int32
-		neighbor lte.CarrierID
-	}
 	singular, pair := e.schema.Singular(), e.schema.PairWise()
 	// One encoding representative per attribute base: when every model of
 	// a group shares its base, each attribute vector is dictionary-encoded
@@ -330,8 +393,17 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 	if len(pair) > 0 {
 		pRep = e.codesRep(pair)
 	}
-	states := make([]itemState, len(items))
-	jobs := make([]job, 0, len(items)*e.schema.Len())
+	sc := recScratchPool.Get().(*recScratch)
+	if cap(sc.states) < len(items) {
+		sc.states = make([]itemState, len(items))
+	}
+	// Every element within capacity is zero: putRecScratch clears exactly
+	// the elements a batch used before resetting the lengths.
+	states := sc.states[:len(items)]
+	sc.states = states
+	sRowApp, _ := sRep.(rowAppender)
+	pRowApp, _ := pRep.(rowAppender)
+	jobs := sc.jobs[:0]
 	for ii := range items {
 		c := items[ii].Carrier
 		ictx, sp := trace.Start(ctx, "engine.recommend")
@@ -347,14 +419,25 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 			}
 			st.scope = func(s dataset.Site) bool { return allowed[s.From] }
 		}
-		attrs := c.AttributeVector()
+		// Attribute vectors and their encodings append into the pooled
+		// arenas; a grown arena leaves earlier vectors on the previous
+		// backing array, which stays reachable through their jobs.
+		base := len(sc.attrs)
+		sc.attrs = c.AppendAttributeVector(sc.attrs)
+		attrs := sc.attrs[base:len(sc.attrs):len(sc.attrs)]
 		var sCodes []int32
 		if sRep != nil {
-			sCodes = sRep.EncodeRow(attrs)
+			if sRowApp != nil {
+				cb := len(sc.codes)
+				sc.codes = sRowApp.AppendEncodeRow(sc.codes, attrs)
+				sCodes = sc.codes[cb:len(sc.codes):len(sc.codes)]
+			} else {
+				sCodes = sRep.EncodeRow(attrs)
+			}
 		}
 		st.firstJob = len(jobs)
 		for _, pi := range singular {
-			jobs = append(jobs, job{ii, pi, attrs, sCodes, -1})
+			jobs = append(jobs, recJob{ii, pi, attrs, sCodes, -1})
 		}
 		for _, nb := range items[ii].Neighbors {
 			// A neighbor id outside the trained inventory (possible when a
@@ -364,13 +447,22 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 				st.err = fmt.Errorf("core: neighbor %d outside the %d trained carriers", nb, len(e.net.Carriers))
 				break
 			}
-			pairAttrs := lte.PairAttributeVector(c, &e.net.Carriers[nb])
+			pb := len(sc.attrs)
+			sc.attrs = append(sc.attrs, attrs...)
+			sc.attrs = e.net.Carriers[nb].AppendAttributeVector(sc.attrs)
+			pairAttrs := sc.attrs[pb:len(sc.attrs):len(sc.attrs)]
 			var pCodes []int32
 			if pRep != nil {
-				pCodes = pRep.EncodeRow(pairAttrs)
+				if pRowApp != nil {
+					cb := len(sc.codes)
+					sc.codes = pRowApp.AppendEncodeRow(sc.codes, pairAttrs)
+					pCodes = sc.codes[cb:len(sc.codes):len(sc.codes)]
+				} else {
+					pCodes = pRep.EncodeRow(pairAttrs)
+				}
 			}
 			for _, pi := range pair {
-				jobs = append(jobs, job{ii, pi, pairAttrs, pCodes, nb})
+				jobs = append(jobs, recJob{ii, pi, pairAttrs, pCodes, nb})
 			}
 		}
 		st.numJobs = len(jobs) - st.firstJob
@@ -379,8 +471,16 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 		sp.SetInt("jobs", int64(st.numJobs))
 		sp.SetBool("scoped", st.scoped)
 	}
+	sc.jobs = jobs
+	// out escapes into the returned results (each item's recommendations
+	// alias a window of it), so it is the one per-call allocation the
+	// scratch pool cannot absorb.
 	out := make([]Recommendation, len(jobs))
-	errs := make([]error, len(jobs))
+	if cap(sc.errs) < len(jobs) {
+		sc.errs = make([]error, len(jobs))
+	}
+	errs := sc.errs[:len(jobs)]
+	sc.errs = errs
 	poolErr := pool.ForEachNCtx(ctx, e.opts.Workers, len(jobs), recommendParamSeconds, func(jctx context.Context, i int) error {
 		j := jobs[i]
 		st := &states[j.item]
@@ -451,6 +551,7 @@ func (e *Engine) recommendMany(ctx context.Context, items []BatchItem) []BatchRe
 		}
 		recommendSeconds.ObserveExemplar(time.Since(st.start).Seconds(), exemplar)
 	}
+	putRecScratch(sc)
 	return results
 }
 
@@ -531,8 +632,11 @@ func parseLabel(spec paramspec.Param, label string) (float64, error) {
 	if label == "" {
 		return 0, fmt.Errorf("core: empty prediction for %s", spec.Name)
 	}
-	var v float64
-	if _, err := fmt.Sscanf(label, "%g", &v); err != nil {
+	// strconv instead of fmt.Sscanf: this runs once per (parameter,
+	// neighbor) job on the serving path, and the Sscanf scan-state
+	// machinery alone was a measurable allocation source.
+	v, err := strconv.ParseFloat(label, 64)
+	if err != nil {
 		return 0, fmt.Errorf("core: unparsable label %q for %s: %w", label, spec.Name, err)
 	}
 	return spec.Quantize(v), nil

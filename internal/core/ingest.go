@@ -247,6 +247,9 @@ func (se *ShardedEngine) Apply(d Delta) (ApplyResult, error) {
 	shardCount.Set(float64(trained))
 	ingestModelsPatched.Add(uint64(res.Patched))
 	ingestModelsRefit.Add(uint64(res.Refit))
+	// Patched models must start cold: the new generation re-keys every
+	// request, and the reset reclaims the stale generation's entries.
+	se.cache.reset()
 	if old != nil {
 		old.release() // drop the installed reference; in-flight requests hold theirs
 		<-old.drained

@@ -58,6 +58,9 @@ type ShardedEngine struct {
 	loadMu sync.Mutex
 	// watcher holds the optional model-quality Observer (observer.go).
 	watcher atomic.Pointer[observerBox]
+	// cache memoizes materialized recommendation sets per generation
+	// (cache.go); nil when Options.CacheEntries is zero.
+	cache *recCache
 }
 
 // shardState is one immutable serving generation: the snapshot inventory
@@ -90,8 +93,16 @@ func (st *shardState) release() {
 // to every shard; Options.Keep, when set, composes with each shard's
 // market partition. Call Load before serving.
 func NewSharded(schema *paramspec.Schema, opts Options) *ShardedEngine {
-	return &ShardedEngine{schema: schema, opts: opts}
+	se := &ShardedEngine{schema: schema, opts: opts}
+	if opts.CacheEntries > 0 {
+		se.cache = newRecCache(opts.CacheEntries)
+	}
+	return se
 }
+
+// CacheStats reports the memo cache's counters (zero-valued with
+// Enabled=false when the engine was built without a cache).
+func (se *ShardedEngine) CacheStats() CacheStats { return se.cache.stats() }
 
 // Schema returns the engine's parameter schema.
 func (se *ShardedEngine) Schema() *paramspec.Schema { return se.schema }
@@ -141,6 +152,9 @@ func (se *ShardedEngine) Load(net *lte.Network, x2 *geo.Graph, cfg *lte.Config) 
 	shardSwapsTotal.Inc()
 	shardGeneration.Set(float64(st.gen))
 	shardCount.Set(float64(trained))
+	// The new generation is part of every cache key, so stale entries can
+	// never hit; the reset just reclaims their memory immediately.
+	se.cache.reset()
 	if old != nil {
 		old.release() // drop the installed reference; in-flight requests hold theirs
 		<-old.drained
@@ -235,7 +249,17 @@ func (se *ShardedEngine) RecommendContext(ctx context.Context, c *lte.Carrier, n
 	if err != nil {
 		return nil, err
 	}
-	recs, err := eng.RecommendContext(ctx, c, neighbors)
+	var recs []Recommendation
+	if se.cache != nil {
+		kb := keyBufs.Get().(*[]byte)
+		*kb = appendCacheKey((*kb)[:0], st.gen, c, neighbors)
+		recs, err = se.cache.recommend(*kb, func() ([]Recommendation, error) {
+			return eng.RecommendContext(ctx, c, neighbors)
+		})
+		keyBufs.Put(kb)
+	} else {
+		recs, err = eng.RecommendContext(ctx, c, neighbors)
+	}
 	if err == nil && len(recs) > 0 {
 		if o := se.observer(); o != nil {
 			o.ObserveServed(c.Market, c, recs)
@@ -256,12 +280,41 @@ func (se *ShardedEngine) RecommendBatch(ctx context.Context, items []BatchItem) 
 	}
 	defer st.release()
 	results := make([]BatchResult, len(items))
+	// With the cache on, each item is looked up first; repeat keys within
+	// the batch compute once (the first occurrence leads, the rest copy).
+	var keys []string // per item: its cache key, "" when not computing
+	var dupOf []int   // per item: index of the batch-local leader, or -1
+	var leaders map[string]int
+	if se.cache != nil {
+		keys = make([]string, len(items))
+		dupOf = make([]int, len(items))
+		leaders = make(map[string]int, len(items))
+	}
 	groups := make(map[int][]int)
 	var markets []int
 	for i := range items {
 		if _, err := st.shardFor(items[i].Carrier); err != nil {
 			results[i].Err = err
 			continue
+		}
+		if se.cache != nil {
+			dupOf[i] = -1
+			kb := keyBufs.Get().(*[]byte)
+			*kb = appendCacheKey((*kb)[:0], st.gen, items[i].Carrier, items[i].Neighbors)
+			if recs, ok := se.cache.get(*kb); ok {
+				se.cache.countHit()
+				results[i].Recommendations = recs
+				keyBufs.Put(kb)
+				continue
+			}
+			ks := string(*kb)
+			keyBufs.Put(kb)
+			if lead, seen := leaders[ks]; seen {
+				dupOf[i] = lead
+				continue
+			}
+			leaders[ks] = i
+			keys[i] = ks
 		}
 		m := items[i].Carrier.Market
 		if _, seen := groups[m]; !seen {
@@ -290,6 +343,23 @@ func (se *ShardedEngine) RecommendBatch(ctx context.Context, items []BatchItem) 
 		}(st.shards[m], sub, idx)
 	}
 	wg.Wait()
+	if se.cache != nil {
+		for i := range items {
+			if keys[i] == "" {
+				continue
+			}
+			se.cache.countMiss()
+			if results[i].Err == nil {
+				se.cache.put(keys[i], results[i].Recommendations)
+			}
+		}
+		for i := range items {
+			if dupOf[i] >= 0 {
+				se.cache.countShared()
+				results[i] = results[dupOf[i]]
+			}
+		}
+	}
 	if o := se.observer(); o != nil {
 		for i := range results {
 			if results[i].Err == nil && len(results[i].Recommendations) > 0 {
@@ -326,12 +396,30 @@ func (se *ShardedEngine) RecommendStream(ctx context.Context, items []BatchItem,
 	results := make([]BatchResult, len(items))
 	chunkOf := make([]*chunkT, len(items))
 	var chunks []*chunkT
+	var keys []string // per item: cache key to fill after its chunk lands
+	if se.cache != nil {
+		keys = make([]string, len(items))
+	}
 	open := make(map[int]*chunkT)
 	for i := range items {
 		eng, err := st.shardFor(items[i].Carrier)
 		if err != nil {
 			results[i].Err = err // emitted in order with the rest
 			continue
+		}
+		if se.cache != nil {
+			kb := keyBufs.Get().(*[]byte)
+			*kb = appendCacheKey((*kb)[:0], st.gen, items[i].Carrier, items[i].Neighbors)
+			if recs, ok := se.cache.get(*kb); ok {
+				// A hit skips chunk planning entirely: the item emits as
+				// soon as the emitter reaches it, ahead of any compute.
+				se.cache.countHit()
+				results[i].Recommendations = recs
+				keyBufs.Put(kb)
+				continue
+			}
+			keys[i] = string(*kb)
+			keyBufs.Put(kb)
 		}
 		m := items[i].Carrier.Market
 		c := open[m]
@@ -371,13 +459,21 @@ func (se *ShardedEngine) RecommendStream(ctx context.Context, items []BatchItem,
 	}()
 
 	// Emitter: strict request order, each item as soon as its chunk lands.
+	// Cache hits (no chunk) emit immediately; computed items are stored
+	// under their key here, once their chunk delivers.
 	o := se.observer()
 	for i := range items {
 		if c := chunkOf[i]; c != nil {
 			<-c.done
-			if o != nil && results[i].Err == nil && len(results[i].Recommendations) > 0 {
-				o.ObserveServed(items[i].Carrier.Market, items[i].Carrier, results[i].Recommendations)
+			if se.cache != nil && keys[i] != "" {
+				se.cache.countMiss()
+				if results[i].Err == nil {
+					se.cache.put(keys[i], results[i].Recommendations)
+				}
 			}
+		}
+		if o != nil && results[i].Err == nil && len(results[i].Recommendations) > 0 {
+			o.ObserveServed(items[i].Carrier.Market, items[i].Carrier, results[i].Recommendations)
 		}
 		emit(i, results[i])
 	}

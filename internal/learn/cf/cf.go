@@ -545,6 +545,15 @@ type Model struct {
 	siteOnce sync.Once
 	siteRows map[lte.CarrierID][]int32
 
+	// depVals[i][code] is the interned "name=value" evidence string for
+	// code of dependent column deps[i], built lazily on the first
+	// DependentValues call (same sync.Once pattern as siteRows). The
+	// serving path asks for the evidence key of every prediction, and
+	// query values repeat constantly; without this cache the concats were
+	// the single largest allocation source in Recommend.
+	depValsOnce sync.Once
+	depVals     [][]string
+
 	globalLabel string
 	globalShare float64
 }
@@ -598,13 +607,38 @@ func (m *Model) DependentColumnNames() []string {
 
 // DependentValues returns the query row's "name=value" pairs for the
 // dependent attributes, strongest association first — the evidence key the
-// audit log persists alongside each recommendation.
+// audit log persists alongside each recommendation. Values seen in
+// training resolve to interned strings (no per-call concatenation);
+// unseen values fall back to building the pair.
 func (m *Model) DependentValues(row []string) []string {
+	m.depValsOnce.Do(m.buildDepVals)
 	out := make([]string, len(m.deps))
 	for i, d := range m.deps {
-		out[i] = m.t.ColNames[d] + "=" + row[d]
+		if code := m.t.Dict(d).Code(row[d]); code >= 0 && int(code) < len(m.depVals[i]) {
+			out[i] = m.depVals[i][code]
+		} else {
+			out[i] = m.t.ColNames[d] + "=" + row[d]
+		}
 	}
 	return out
+}
+
+// buildDepVals interns "name=value" for every dictionary code of every
+// dependent column. Dictionaries only grow (copy-on-write) across Update,
+// and a patched model rebuilds lazily, so the cache is never stale — at
+// worst an unseen code takes the concatenation fallback.
+func (m *Model) buildDepVals() {
+	dv := make([][]string, len(m.deps))
+	for i, d := range m.deps {
+		dict := m.t.Dict(d)
+		name := m.t.ColNames[d]
+		vals := make([]string, dict.Len())
+		for c := range vals {
+			vals[c] = name + "=" + dict.String(int32(c))
+		}
+		dv[i] = vals
+	}
+	m.depVals = dv
 }
 
 // encode translates a query row into dictionary codes for the dependent
@@ -645,11 +679,17 @@ func (m *Model) Live() int { return m.live }
 // PredictCodes, which is how the engine's batch path encodes each
 // attribute string once per batch instead of once per parameter.
 func (m *Model) EncodeRow(row []string) []int32 {
-	codes := make([]int32, m.t.NumCols())
-	for c := range codes {
-		codes[c] = m.t.Dict(c).Code(row[c])
+	return m.AppendEncodeRow(make([]int32, 0, m.t.NumCols()), row)
+}
+
+// AppendEncodeRow appends the row's full per-column encoding to dst and
+// returns the extended slice — the allocation-free form of EncodeRow for
+// callers that batch encodings into a reused arena.
+func (m *Model) AppendEncodeRow(dst []int32, row []string) []int32 {
+	for c := 0; c < m.t.NumCols(); c++ {
+		dst = append(dst, m.t.Dict(c).Code(row[c]))
 	}
-	return codes
+	return dst
 }
 
 // SharesEncoding implements learn.CodesModel: true when o was fitted over

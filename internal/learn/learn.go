@@ -58,6 +58,19 @@ type Diag struct {
 	Dropped string
 }
 
+// Reset zeroes the diagnostics in place, the form pooled per-request
+// scratch uses to recycle a Diag without carrying stale evidence forward.
+func (d *Diag) Reset() { *d = Diag{} }
+
+// Clone returns a value copy of the diagnostics. Diag holds no slices,
+// so the copy is fully independent; the method exists so call sites that
+// snapshot evidence (caches, audit trails, equivalence tests) say so
+// explicitly rather than relying on implicit struct assignment.
+func (d Diag) Clone() Diag { return d }
+
+// Reset zeroes the prediction in place for pooled reuse.
+func (p *Prediction) Reset() { *p = Prediction{} }
+
 // Model is a fitted per-parameter dependency model. Fitted models must be
 // read-only: Predict (and the scoped/weighted variants) may not mutate
 // model state, so one model can serve concurrent predictions — the

@@ -66,22 +66,30 @@ func AttributeNames() []string {
 // treated as nominal and one-hot encoded downstream, exactly as in
 // Sec 3.1 of the paper.
 func (c *Carrier) AttributeVector() []string {
-	v := make([]string, NumAttributes)
-	v[AttrFrequency] = strconv.Itoa(c.FrequencyMHz)
-	v[AttrCarrierType] = c.Type.String()
-	v[AttrCarrierInfo] = c.Info
-	v[AttrMorphology] = c.Morphology.String()
-	v[AttrBandwidth] = strconv.Itoa(c.BandwidthMHz)
-	v[AttrMIMOMode] = c.MIMOMode
-	v[AttrHardware] = c.Hardware
-	v[AttrCellSize] = strconv.Itoa(c.CellSizeMi)
-	v[AttrTAC] = strconv.Itoa(c.TAC)
-	v[AttrMarket] = strconv.Itoa(c.Market)
-	v[AttrVendor] = c.Vendor
-	v[AttrNeighborChannel] = strconv.Itoa(c.NeighborChan)
-	v[AttrNeighborsOnENB] = strconv.Itoa(c.NeighborsOnENB)
-	v[AttrSoftwareVersion] = c.SoftwareVersion
-	return v
+	return c.AppendAttributeVector(make([]string, 0, NumAttributes))
+}
+
+// AppendAttributeVector appends the carrier's attribute vector to dst and
+// returns the extended slice — the allocation-free form of
+// AttributeVector for callers that reuse a backing array across requests
+// (the engine's recommendation scratch).
+func (c *Carrier) AppendAttributeVector(dst []string) []string {
+	return append(dst,
+		strconv.Itoa(c.FrequencyMHz), // AttrFrequency
+		c.Type.String(),              // AttrCarrierType
+		c.Info,                       // AttrCarrierInfo
+		c.Morphology.String(),        // AttrMorphology
+		strconv.Itoa(c.BandwidthMHz), // AttrBandwidth
+		c.MIMOMode,                   // AttrMIMOMode
+		c.Hardware,                   // AttrHardware
+		strconv.Itoa(c.CellSizeMi),   // AttrCellSize
+		strconv.Itoa(c.TAC),          // AttrTAC
+		strconv.Itoa(c.Market),       // AttrMarket
+		c.Vendor,                     // AttrVendor
+		strconv.Itoa(c.NeighborChan), // AttrNeighborChannel
+		strconv.Itoa(c.NeighborsOnENB),
+		c.SoftwareVersion, // AttrSoftwareVersion
+	)
 }
 
 // PairAttributeVector renders the concatenated attribute vectors of a
@@ -89,12 +97,13 @@ func (c *Carrier) AttributeVector() []string {
 // parameters (Sec 4.1: "for pair-wise parameters, we use both the
 // attributes of the carriers and their corresponding neighbors").
 func PairAttributeVector(c, neighbor *Carrier) []string {
-	cv := c.AttributeVector()
-	nv := neighbor.AttributeVector()
-	out := make([]string, 0, len(cv)+len(nv))
-	out = append(out, cv...)
-	out = append(out, nv...)
-	return out
+	return AppendPairAttributeVector(make([]string, 0, 2*NumAttributes), c, neighbor)
+}
+
+// AppendPairAttributeVector is the appending form of PairAttributeVector.
+func AppendPairAttributeVector(dst []string, c, neighbor *Carrier) []string {
+	dst = c.AppendAttributeVector(dst)
+	return neighbor.AppendAttributeVector(dst)
 }
 
 // PairAttributeNames returns the names for PairAttributeVector columns:

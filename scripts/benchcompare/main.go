@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	benchcompare [-max-regress PCT] old.json new.json
+//	benchcompare [-max-regress PCT] [-max-alloc-regress PCT] old.json new.json
 //
 // With -max-regress N (the default in `make check` via MAX_REGRESS), an
 // ns/op regression fails the run only when it is both large and
@@ -21,6 +21,13 @@
 // noisy benchmark widens its interval and is reported but never fatal;
 // with COUNT=1 there is no spread and the gate degenerates to the plain
 // percentage check. -max-regress 0 is report-only.
+//
+// -max-alloc-regress applies the same large-and-resolvable rule to
+// allocs/op (MAX_ALLOC_REGRESS in `make check`). Allocation counts are
+// nearly deterministic — their spread is usually zero — so this gate can
+// sit much tighter than the timing one: it exists to catch a hot-path
+// change that quietly reintroduces per-request garbage even when ns/op
+// noise would hide it.
 package main
 
 import (
@@ -52,9 +59,11 @@ var metricOrder = map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2}
 func main() {
 	maxRegress := flag.Float64("max-regress", 0,
 		"fail when any ns/op regression exceeds this percentage with non-overlapping spreads (0 = report only)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0,
+		"fail when any allocs/op regression exceeds this percentage with non-overlapping spreads (0 = report only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress PCT] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress PCT] [-max-alloc-regress PCT] old.json new.json")
 		os.Exit(2)
 	}
 	oldF, err := load(flag.Arg(0))
@@ -67,15 +76,29 @@ func main() {
 	}
 	fmt.Printf("benchcompare: %s (benchtime=%s) -> %s (benchtime=%s)\n",
 		flag.Arg(0), oldF.Benchtime, flag.Arg(1), newF.Benchtime)
-	if compare(os.Stdout, oldF, newF, *maxRegress) {
-		fmt.Fprintf(os.Stderr, "benchcompare: ns/op regression above %.1f%% with non-overlapping spreads\n", *maxRegress)
+	if compare(os.Stdout, oldF, newF, *maxRegress, *maxAllocRegress) {
+		fmt.Fprintf(os.Stderr, "benchcompare: cost-metric regression above the gate (ns/op %.1f%%, allocs/op %.1f%%) with non-overlapping spreads\n",
+			*maxRegress, *maxAllocRegress)
 		os.Exit(1)
 	}
 }
 
+// gateFor maps a metric to its regression threshold; metrics without a
+// gate (B/op, custom metrics) are report-only.
+func gateFor(metric string, maxRegress, maxAllocRegress float64) float64 {
+	switch metric {
+	case "ns/op":
+		return maxRegress
+	case "allocs/op":
+		return maxAllocRegress
+	}
+	return 0
+}
+
 // compare writes the per-benchmark report to w and reports whether any
-// ns/op regression trips the maxRegress gate.
-func compare(w io.Writer, oldF, newF *benchFile, maxRegress float64) bool {
+// gated metric (ns/op vs maxRegress, allocs/op vs maxAllocRegress) trips
+// its regression gate.
+func compare(w io.Writer, oldF, newF *benchFile, maxRegress, maxAllocRegress float64) bool {
 	oldBy, _ := aggregate(oldF)
 	newBy, order := aggregate(newF)
 	var failed bool
@@ -93,7 +116,7 @@ func compare(w io.Writer, oldF, newF *benchFile, maxRegress float64) bool {
 			if ov.Mean != 0 {
 				pct := (nv.Mean - ov.Mean) / ov.Mean * 100
 				delta = fmt.Sprintf("%+.1f%%", pct)
-				if metric == "ns/op" && regression(ov, nv, maxRegress) {
+				if regression(ov, nv, gateFor(metric, maxRegress, maxAllocRegress)) {
 					delta += " REGRESSION"
 					failed = true
 				}
@@ -108,16 +131,16 @@ func compare(w io.Writer, oldF, newF *benchFile, maxRegress float64) bool {
 	return failed
 }
 
-// regression reports whether new is a gate-tripping ns/op regression over
-// old: mean delta above maxRegress percent and the two spread intervals
-// disjoint, so measurement noise wide enough to explain the delta
-// suppresses the failure.
-func regression(old, new stat, maxRegress float64) bool {
-	if maxRegress <= 0 || old.Mean == 0 {
+// regression reports whether new is a gate-tripping regression over old
+// for one metric: mean delta above gate percent and the two spread
+// intervals disjoint, so measurement noise wide enough to explain the
+// delta suppresses the failure.
+func regression(old, new stat, gate float64) bool {
+	if gate <= 0 || old.Mean == 0 {
 		return false
 	}
 	pct := (new.Mean - old.Mean) / old.Mean * 100
-	return pct > maxRegress && new.Mean-new.Spread > old.Mean+old.Spread
+	return pct > gate && new.Mean-new.Spread > old.Mean+old.Spread
 }
 
 func load(path string) (*benchFile, error) {

@@ -68,7 +68,7 @@ func TestCompareReportsAndGates(t *testing.T) {
 	newF := bf(run("BenchmarkA-1", 300), run("BenchmarkA-1", 302), // clean 3x regression
 		run("BenchmarkB-1", 101), run("BenchmarkB-1", 99)) // flat
 	var out strings.Builder
-	if failed := compare(&out, oldF, newF, 60); !failed {
+	if failed := compare(&out, oldF, newF, 60, 0); !failed {
 		t.Fatalf("compare did not fail on a 3x disjoint regression:\n%s", out.String())
 	}
 	report := out.String()
@@ -80,14 +80,45 @@ func TestCompareReportsAndGates(t *testing.T) {
 	}
 
 	out.Reset()
-	if failed := compare(&out, oldF, oldF, 60); failed {
+	if failed := compare(&out, oldF, oldF, 60, 30); failed {
 		t.Fatalf("self-comparison failed the gate:\n%s", out.String())
+	}
+}
+
+func allocRun(name string, nsop, allocs float64) map[string]any {
+	return map[string]any{"name": name, "iterations": float64(100), "ns/op": nsop, "allocs/op": allocs}
+}
+
+// TestAllocRegressionGate pins the allocs/op gate: a clean allocation
+// regression fails even when ns/op is flat, and only when the alloc gate
+// is armed.
+func TestAllocRegressionGate(t *testing.T) {
+	oldF := bf(allocRun("BenchmarkA-1", 100, 50), allocRun("BenchmarkA-1", 102, 50))
+	newF := bf(allocRun("BenchmarkA-1", 101, 80), allocRun("BenchmarkA-1", 99, 80)) // +60% allocs, flat ns/op
+
+	var out strings.Builder
+	if failed := compare(&out, oldF, newF, 60, 30); !failed {
+		t.Fatalf("compare did not fail on a +60%% alloc regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report lacks an allocs/op REGRESSION marker:\n%s", out.String())
+	}
+
+	out.Reset()
+	if failed := compare(&out, oldF, newF, 60, 0); failed {
+		t.Fatalf("disarmed alloc gate still failed:\n%s", out.String())
+	}
+
+	// Fewer allocations is an improvement, never a failure.
+	out.Reset()
+	if failed := compare(&out, newF, oldF, 60, 30); failed {
+		t.Fatalf("alloc improvement failed the gate:\n%s", out.String())
 	}
 }
 
 func TestCompareNoCommonBenchmarks(t *testing.T) {
 	var out strings.Builder
-	if failed := compare(&out, bf(run("BenchmarkA-1", 1)), bf(run("BenchmarkZ-1", 1)), 60); failed {
+	if failed := compare(&out, bf(run("BenchmarkA-1", 1)), bf(run("BenchmarkZ-1", 1)), 60, 30); failed {
 		t.Fatal("disjoint files failed the gate")
 	}
 	if !strings.Contains(out.String(), "no benchmarks in common") {

@@ -62,3 +62,25 @@ grep -q '"churnFailures"' "$churn_report" && {
 grep -q '"p50": 0\.' "$churn_report" || {
     echo "load-smoke: churn report lacks a positive p50"; exit 1; }
 echo "load-smoke: churn leg clean: ingest raced serving with zero failures"
+
+# Cache leg: repeat-heavy traffic (Zipf over 8 carriers) through the
+# generation-keyed recommendation cache, with a reload invalidating it
+# mid-run. The gate: the cache must report a nonzero hit ratio (the
+# serving path actually went through it and rewarmed after the swap) and
+# zero failures — cache on, reload racing, still zero-downtime.
+cache_report="$tmp/cache.json"
+echo "load-smoke: 2s repeat-heavy run, 8 unique carriers, 1 reload mid-run"
+"$tmp/auricload" -markets 4 -enbs 8 -duration 2s -batch 16 -workers 4 \
+    -unique-carriers 8 -reloads 1 -max-failures 0 -report "$cache_report"
+
+cat "$cache_report"
+
+grep -q '"hitRatio":' "$cache_report" || {
+    echo "load-smoke: cache run reported no hitRatio"; exit 1; }
+grep -Eq '"hitRatio": 0[,}]' "$cache_report" && {
+    echo "load-smoke: cache hit ratio is zero under repeat traffic"; exit 1; }
+grep -q '"cacheHits": 0,' "$cache_report" && {
+    echo "load-smoke: cache served no hits under repeat traffic"; exit 1; }
+grep -q '"failures": 0,' "$cache_report" || {
+    echo "load-smoke: failures during cache-leg reload"; exit 1; }
+echo "load-smoke: cache leg clean: nonzero hit ratio across the reload"
